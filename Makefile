@@ -1,0 +1,21 @@
+# Developer conveniences. The library itself has no build step.
+
+.PHONY: test bench bench-paper docs examples lint
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-paper:  ## only the per-figure/table reproductions (no extensions)
+	pytest benchmarks/test_fig*.py benchmarks/test_table*.py benchmarks/test_s5*.py --benchmark-only
+
+docs:
+	python tools/gen_api_docs.py
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null || exit 1; done
+
+lint:
+	python -m compileall -q src tests benchmarks examples tools

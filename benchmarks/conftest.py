@@ -1,0 +1,34 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark builds an :class:`ExperimentReport` (paper value vs
+measured value per metric) and registers it with the ``reports``
+fixture; all reports are printed in the terminal summary so the
+paper-vs-measured comparison survives pytest's output capture.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentReport
+
+_COLLECTED = []
+
+
+@pytest.fixture
+def report():
+    """Create and auto-register an ExperimentReport factory."""
+
+    def factory(experiment: str, description: str) -> ExperimentReport:
+        experiment_report = ExperimentReport(experiment, description)
+        _COLLECTED.append(experiment_report)
+        return experiment_report
+
+    return factory
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _COLLECTED:
+        return
+    terminalreporter.write_sep("=", "paper vs measured")
+    for experiment_report in _COLLECTED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(experiment_report.render())

@@ -1,0 +1,63 @@
+"""Ablation — MSS-clamp intervention during the handshake (§4.1).
+
+Without the gateway rewriting the SYN-ACK's MSS option, an inside
+sender negotiates down to the outside peer's eMTU-derived MSS and never
+emits jumbo segments — the b-network's TX-side benefit disappears
+entirely, no matter how good the merge engine is.
+"""
+
+import pytest
+
+from repro.core import GatewayConfig, PXGateway
+from repro.net import Topology
+from repro.tcpstack import TCPConnection, TCPListener
+
+
+def run(mss_clamp: bool):
+    topo = Topology(seed=3)
+    inside = topo.add_host("inside")
+    outside = topo.add_host("outside")
+    config = GatewayConfig(mss_clamp=mss_clamp, elephant_threshold_packets=2)
+    gateway = PXGateway(topo.sim, "pxgw", config=config)
+    topo.add_node(gateway)
+    topo.link(inside, gateway, mtu=9000, bandwidth_bps=10e9, delay=50e-6)
+    topo.link(gateway, outside, mtu=1500, bandwidth_bps=10e9, delay=50e-6)
+    topo.build_routes()
+    gateway.mark_internal(gateway.interfaces[0])
+
+    listener = TCPListener(outside, 80, mss=1460)
+    conn = TCPConnection(inside, 40000, outside.ip, 80, mss=8960)
+    conn.connect()
+    topo.run(until=0.5)
+    conn.send_bulk(3_000_000)
+    topo.run(until=4.0)
+
+    return {
+        "negotiated_mss": conn.send_mss,
+        "bytes_delivered": listener.connections[0].bytes_delivered,
+        "inside_tx_packets": inside.interfaces[0].tx_packets,
+        "split_segments": gateway.stats.split_segments,
+    }
+
+
+def test_ablation_mss_clamp(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {"clamp on": run(True), "clamp off": run(False)},
+        rounds=1, iterations=1,
+    )
+
+    table = report("Ablation: MSS clamp", "Inside sender's negotiated MSS and TX packets")
+    for name, data in results.items():
+        table.add(f"{name}: negotiated MSS", None, data["negotiated_mss"], unit="B")
+        table.add(f"{name}: inside TX packets", None, data["inside_tx_packets"],
+                  unit="pkts")
+        table.add(f"{name}: gateway split segments", None, data["split_segments"])
+
+    on, off = results["clamp on"], results["clamp off"]
+    assert on["negotiated_mss"] == 8960
+    assert off["negotiated_mss"] == 1460
+    assert on["bytes_delivered"] == off["bytes_delivered"] == 3_000_000
+    # The clamp cuts the inside network's packet count by ~6x.
+    assert on["inside_tx_packets"] < off["inside_tx_packets"] / 3
+    # Without it the split engine has nothing to do.
+    assert on["split_segments"] > 0 and off["split_segments"] == 0

@@ -1,0 +1,45 @@
+"""§5.3 — Fragmented-packet delivery across the Internet.
+
+Paper: fragmented HTTP requests were answered by 99.98 % of 389,428
+live servers (59 failures; 15 of them last-hop AS fragment filtering),
+versus ~51 % success for ICMP-dependent classical PMTUD as of 2018.
+
+Here: the population is drawn with the measured pathology rates
+(network access is unavailable), and the *mechanism* of each failure
+class is validated packet-by-packet on sampled simulated paths using
+the real router filtering / blackhole code.
+"""
+
+import pytest
+
+from repro.pmtud import FragmentSurvey, SurveyRates, probe_path_with_fragments
+
+
+def test_s53_fragment_survey(benchmark, report):
+    def run():
+        survey = FragmentSurvey()
+        result = survey.run(SurveyRates.PAPER_POPULATION)
+        # Mechanism spot-checks with real packets through real routers.
+        clean_path_ok = probe_path_with_fragments(filtering_last_hop=False)
+        filtered_path_ok = probe_path_with_fragments(filtering_last_hop=True)
+        return result, clean_path_ok, filtered_path_ok
+
+    result, clean_path_ok, filtered_path_ok = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    table = report("§5.3 survey", "Fragment delivery across 389,428 server paths")
+    table.add("fragment delivery success rate", 0.9998,
+              round(result.fragment_success_rate, 6))
+    table.add("failing servers", 59,
+              result.filtered_last_hop + result.unresponsive, unit="servers")
+    table.add("last-hop AS fragment filters", 15, result.filtered_last_hop,
+              unit="servers")
+    table.add("ICMP PMTUD success rate (2018 study)", 0.51,
+              round(result.icmp_success_rate, 4))
+
+    assert result.fragment_success_rate > 0.9995
+    assert 30 <= result.filtered_last_hop + result.unresponsive <= 90
+    assert 0.46 < result.icmp_success_rate < 0.56
+    # Packet-level mechanism: fragments pass clean paths, die at filters.
+    assert clean_path_ok and not filtered_path_ok

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Federating b-networks: explicit iMTU advertisement (§4.2).
+
+When two beneficiary networks neighbor each other, their PXGWs can
+exchange iMTU information and skip translation entirely: large packets
+cross the border untouched, extending the jumbo path end to end.
+
+Topology (the paper's Figure 2, with a direct peering):
+
+    host_a -- PXGW-1 ====(peering, 9000 B)==== PXGW-2 -- host_b
+                 \\
+                  \\--(legacy Internet, 1500 B)-- legacy_host
+
+Traffic between host_a and host_b flows as 9000 B jumbos the whole way;
+traffic toward the legacy host is still split/merged at PXGW-1.
+
+Run:  python examples/bnetwork_federation.py
+"""
+
+from repro.core import GatewayConfig, PXGateway
+from repro.net import Topology
+from repro.tcpstack import TCPConnection, TCPListener
+
+
+def main():
+    topo = Topology()
+    host_a = topo.add_host("host_a")
+    host_b = topo.add_host("host_b")
+    legacy = topo.add_host("legacy")
+    gw1 = PXGateway(topo.sim, "pxgw1", config=GatewayConfig(elephant_threshold_packets=2))
+    gw2 = PXGateway(topo.sim, "pxgw2", config=GatewayConfig(elephant_threshold_packets=2))
+    topo.add_node(gw1)
+    topo.add_node(gw2)
+
+    topo.link(host_a, gw1, mtu=9000, bandwidth_bps=10e9, delay=50e-6)
+    topo.link(gw1, gw2, mtu=9000, bandwidth_bps=10e9, delay=1e-3)  # jumbo peering
+    topo.link(gw2, host_b, mtu=9000, bandwidth_bps=10e9, delay=50e-6)
+    topo.link(gw1, legacy, mtu=1500, bandwidth_bps=10e9, delay=1e-3)
+    topo.build_routes()
+
+    gw1.mark_internal(gw1.interfaces[0])  # toward host_a
+    gw2.mark_internal(gw2.interfaces[1])  # toward host_b
+
+    # The iMTU exchange: each gateway learns its peer runs 9000 B too.
+    gw1.set_neighbor_imtu(gw1.interfaces[1], gw2.config.imtu)
+    gw2.set_neighbor_imtu(gw2.interfaces[0], gw1.config.imtu)
+
+    # ------------------------------------------------------------------
+    # b-network to b-network: jumbos end to end, zero translation.
+    # ------------------------------------------------------------------
+    listener_b = TCPListener(host_b, 9000, mss=8960)
+    conn_ab = TCPConnection(host_a, 40000, host_b.ip, 9000, mss=8960)
+    conn_ab.connect()
+    topo.run(until=0.2)
+    conn_ab.send_bulk(3_000_000)
+    topo.run(until=2.0)
+
+    print("host_a -> host_b (federated b-networks):")
+    print(f"  bytes delivered            : {conn_ab.bytes_acked:,}")
+    print(f"  negotiated MSS             : {conn_ab.send_mss} B (never clamped)")
+    print(f"  packets gw1 left untouched : {gw1.untranslated}")
+    print(f"  jumbo segments split by gw1: {gw1.stats.split_segments}")
+
+    # ------------------------------------------------------------------
+    # b-network to legacy: PXGW-1 still translates.
+    # ------------------------------------------------------------------
+    listener_l = TCPListener(legacy, 8080, mss=1460)
+    conn_al = TCPConnection(host_a, 40001, legacy.ip, 8080, mss=8960)
+    conn_al.connect()
+    topo.run(until=2.2)
+    conn_al.send_bulk(3_000_000)
+    topo.run(until=4.0)
+
+    print("\nhost_a -> legacy host (translation still needed):")
+    print(f"  bytes delivered            : {listener_l.connections[0].bytes_delivered:,}")
+    print(f"  negotiated MSS             : {conn_al.send_mss} B "
+          "(kept large by the MSS clamp)")
+    print(f"  jumbo segments split by gw1: {gw1.stats.split_segments}")
+    print("\nthe same border gateway federates with jumbo peers and"
+          "\ntranslates for legacy ones, per destination.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""PX-caravan: carrying a QUIC-like UDP media stream across a b-network.
+
+UDP datagrams cannot be merged or split like TCP bytes — a QUIC stack
+encrypts and frames per datagram — so PXGW *tunnels* them: consecutive
+datagrams of a flow are bundled into one jumbo "caravan" whose inner
+records preserve every original boundary (Figure 3's format).
+
+This example streams 1200 B datagrams (a typical QUIC packet size) from
+a legacy-MTU server through a PXGW into a 9000 B b-network, where a
+caravan-aware receiver unpacks them.  It then shows the CPU-efficiency
+win the bundling buys the receiver.
+
+Run:  python examples/caravan_streaming.py
+"""
+
+from repro.core import GatewayConfig, PXGateway, decode_caravan, is_caravan
+from repro.cpu import XEON_5512U
+from repro.net import Topology
+from repro.nic import ReceiverConfig, ReceiverModel
+
+DATAGRAMS = 600
+DATAGRAM_SIZE = 1200
+
+
+def main():
+    topo = Topology()
+    viewer = topo.add_host("viewer")  # inside the b-network
+    cdn = topo.add_host("cdn")  # legacy 1500 B world
+    gateway = PXGateway(topo.sim, "pxgw",
+                        config=GatewayConfig(elephant_threshold_packets=4))
+    topo.add_node(gateway)
+    topo.link(viewer, gateway, mtu=9000, bandwidth_bps=10e9, delay=100e-6)
+    topo.link(gateway, cdn, mtu=1500, bandwidth_bps=10e9, delay=2e-3)
+    topo.build_routes()
+    gateway.mark_internal(gateway.interfaces[0])
+
+    # A caravan-aware receiver: the modified host stack of §4.1.
+    wire_packets = []
+    media_frames = []
+
+    def on_media(packet, host):
+        wire_packets.append(packet)
+        for datagram in decode_caravan(packet):
+            media_frames.append(datagram.payload)
+
+    viewer.on_udp(4433, on_media)
+
+    # The CDN streams fixed-size datagrams (QUIC-like pacing).
+    for sequence in range(DATAGRAMS):
+        payload = sequence.to_bytes(4, "big") + b"\x00" * (DATAGRAM_SIZE - 4)
+        cdn.send_udp(viewer.ip, 4433, 4433, payload)
+    topo.run(until=2.0)
+
+    caravans = sum(1 for packet in wire_packets if is_caravan(packet))
+    print(f"datagrams sent by the CDN      : {DATAGRAMS}")
+    print(f"packets that crossed the b-net : {len(wire_packets)} "
+          f"({caravans} caravans, {len(wire_packets) - caravans} loose)")
+    print(f"media frames after unbundling  : {len(media_frames)}")
+
+    in_order = all(
+        int.from_bytes(frame[:4], "big") == index
+        for index, frame in enumerate(media_frames)
+    )
+    print(f"every frame intact and in order: {in_order}")
+    print(f"mean datagrams per caravan     : "
+          f"{DATAGRAMS / len(wire_packets):.1f}")
+
+    # ------------------------------------------------------------------
+    # What did the viewer's CPU save?  Price both arrival streams.
+    # ------------------------------------------------------------------
+    loose_model = ReceiverModel(ReceiverConfig(udp_gro=True, busy_polling=True))
+    loose_model.process(
+        decoded for packet in wire_packets for decoded in decode_caravan(packet)
+    )
+    caravan_model = ReceiverModel(ReceiverConfig(udp_gro=True, busy_polling=True))
+    caravan_model.process(iter(wire_packets))
+
+    loose = loose_model.account.sustainable_goodput_bps(XEON_5512U, cores=1)
+    bundled = caravan_model.account.sustainable_goodput_bps(XEON_5512U, cores=1)
+    print("\nreceiver capacity on one core:")
+    print(f"  loose 1200 B datagrams : {loose / 1e9:5.1f} Gbps")
+    print(f"  PX-caravan bundles     : {bundled / 1e9:5.1f} Gbps "
+          f"({bundled / loose:.1f}x — the paper's §5.2 UDP case measured 2.4x)")
+
+
+if __name__ == "__main__":
+    main()

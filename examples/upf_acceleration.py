@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Why middleboxes crave large MTUs: a 5G UPF under packet-rate load.
+
+The UPF (the 5G user plane's workhorse) does per-packet work — GTP-U
+decap/encap and PDR/FAR/QER rule lookups — and almost no per-byte work,
+so its throughput is packet-rate-bound: at a fixed packet rate, a 6x
+larger MTU carries ~6x the bits.  This script pushes the same downlink
+workload through the OMEC-style UPF pipeline at several MTUs and prints
+the single-core throughput curve behind Figure 1a.
+
+Run:  python examples/upf_acceleration.py
+"""
+
+from repro.cpu import XEON_6554S
+from repro.packet import GTPUHeader, Packet, build_udp, str_to_ip
+from repro.upf import Upf
+
+N3 = str_to_ip("10.100.0.1")
+GNB = str_to_ip("10.100.0.2")
+UE_BASE = str_to_ip("172.16.0.1")
+DN = str_to_ip("93.184.216.34")
+
+FLOWS = 800
+SAMPLE_PACKETS = 3000
+
+
+def build_upf() -> Upf:
+    upf = Upf(n3_address=N3)
+    for index in range(FLOWS):
+        upf.sessions.create_session(
+            seid=index,
+            ue_ip=UE_BASE + index,
+            uplink_teid=10_000 + index,
+            gnb_teid=20_000 + index,
+            gnb_ip=GNB,
+        )
+    return upf
+
+
+def downlink_throughput(mtu: int) -> "tuple[float, float]":
+    """(single-core throughput bps, cycles per packet) at *mtu*."""
+    upf = build_upf()
+    payload_len = mtu - 28
+    for index in range(SAMPLE_PACKETS):
+        packet = build_udp(DN, UE_BASE + (index % FLOWS), 80, 4000,
+                           payload=b"\0" * payload_len)
+        upf.process(packet)
+    tput = upf.account.sustainable_goodput_bps(XEON_6554S, cores=1)
+    return tput, upf.account.cycles_per_packet()
+
+
+def main():
+    print(f"OMEC-style UPF, {FLOWS} sessions, one {XEON_6554S.name} core")
+    print(f"{'MTU':>6} {'throughput':>14} {'pps (million)':>14} {'cycles/pkt':>11}")
+    print("-" * 50)
+    results = {}
+    for mtu in (1500, 3000, 6000, 9000):
+        tput, cycles = downlink_throughput(mtu)
+        results[mtu] = tput
+        pps = tput / 8 / (mtu - 28)
+        print(f"{mtu:>6} {tput / 1e9:>10.1f} Gbps {pps / 1e6:>14.2f} {cycles:>11.0f}")
+
+    print(f"\nspeedup 9000 B over 1500 B: {results[9000] / results[1500]:.2f}x "
+          "(paper: 5.6x, 208 Gbps at 9 KB)")
+    print("\nthe packet rate barely moves across the sweep — the rule-table")
+    print("lookups dominate — so throughput scales almost linearly with MTU.")
+
+    # Show the round trip through the pipeline for one packet.
+    upf = build_upf()
+    request = build_udp(UE_BASE, DN, 4000, 80, payload=b"GET /")
+    inner_bytes = request.to_bytes()
+    gtpu_payload = GTPUHeader(teid=10_000).pack(payload_len=len(inner_bytes)) + inner_bytes
+    uplink = build_udp(GNB, N3, 2152, 2152, payload=gtpu_payload)
+    [decapped] = upf.process(uplink)
+    print(f"\nuplink sanity check: GTP-U decapsulated to "
+          f"{decapped.payload!r} toward the data network")
+    [encapped] = upf.process(build_udp(DN, UE_BASE, 80, 4000, payload=b"200 OK"))
+    gtpu = GTPUHeader.unpack(encapped.payload)
+    print(f"downlink sanity check: response re-encapsulated toward the gNB "
+          f"(TEID {gtpu.teid})")
+
+
+if __name__ == "__main__":
+    main()

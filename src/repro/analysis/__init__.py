@@ -1,0 +1,25 @@
+"""Measurement helpers and paper-vs-measured reporting."""
+
+from .fairness import jain_index, mss_bias_ratio, throughput_shares
+from .metrics import (
+    geometric_mean,
+    mean,
+    percentile,
+    size_histogram_summary,
+    throughput_bps,
+)
+from .report import ExperimentReport, ReportRow, format_bps
+
+__all__ = [
+    "ExperimentReport",
+    "ReportRow",
+    "format_bps",
+    "throughput_bps",
+    "mean",
+    "geometric_mean",
+    "percentile",
+    "size_histogram_summary",
+    "jain_index",
+    "throughput_shares",
+    "mss_bias_ratio",
+]

@@ -1,0 +1,51 @@
+"""Fairness metrics for mixed-MTU flow populations.
+
+The paper's conclusion asks: *"Does a large MTU affect network
+congestion and how do we ensure fair bandwidth allocation in the mix of
+small and large-MTU senders?"*  These helpers support the extension
+experiment that quantifies the question: AIMD's additive-increase step
+is one MSS per RTT, so a 9000 B sender reclaims bandwidth ~6x faster
+after every loss and structurally out-competes 1500 B senders sharing a
+bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["jain_index", "throughput_shares", "mss_bias_ratio"]
+
+
+def jain_index(throughputs: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one flow hogs."""
+    if not throughputs:
+        raise ValueError("no throughputs")
+    if any(value < 0 for value in throughputs):
+        raise ValueError("throughputs must be non-negative")
+    total = sum(throughputs)
+    if total == 0:
+        return 1.0  # all-zero is (vacuously) even
+    squares = sum(value * value for value in throughputs)
+    return total * total / (len(throughputs) * squares)
+
+
+def throughput_shares(throughputs: Sequence[float]) -> "list[float]":
+    """Normalize to fractional shares of the aggregate."""
+    total = sum(throughputs)
+    if total == 0:
+        return [0.0] * len(throughputs)
+    return [value / total for value in throughputs]
+
+
+def mss_bias_ratio(by_group: "Dict[str, Sequence[float]]",
+                   large: str = "large", small: str = "small") -> float:
+    """Mean per-flow throughput of the large-MSS group over the small's."""
+    large_flows = by_group[large]
+    small_flows = by_group[small]
+    if not large_flows or not small_flows:
+        raise ValueError("both groups need flows")
+    mean_large = sum(large_flows) / len(large_flows)
+    mean_small = sum(small_flows) / len(small_flows)
+    if mean_small == 0:
+        return float("inf")
+    return mean_large / mean_small

@@ -1,0 +1,53 @@
+"""Small measurement helpers shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["throughput_bps", "mean", "percentile", "size_histogram_summary",
+           "geometric_mean"]
+
+
+def throughput_bps(bytes_delivered: int, duration: float) -> float:
+    """Goodput in bits/second."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return bytes_delivered * 8.0 / duration
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100])."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile out of range")
+    ordered = sorted(values)
+    rank = max(1, round(p / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def size_histogram_summary(histogram: Dict[int, int]) -> "Tuple[float, int]":
+    """(mean size, modal size) of a size->count histogram."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0, 0
+    mean_size = sum(size * count for size, count in histogram.items()) / total
+    modal = max(histogram.items(), key=lambda item: item[1])[0]
+    return mean_size, modal

@@ -1,0 +1,204 @@
+"""Command-line interface: quick demos without writing any code.
+
+::
+
+    python -m repro gateway            # b-network border demo
+    python -m repro pmtud              # F-PMTUD vs baselines on one path
+    python -m repro upf --mtu 9000     # single-core UPF throughput
+    python -m repro survey -n 100000   # fragment-delivery survey
+    python -m repro fig5a              # the headline PXGW numbers
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from . import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PacketExpress (HotNets '25) reproduction demos",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gateway = commands.add_parser("gateway", help="run a b-network border demo")
+    gateway.add_argument("--imtu", type=int, default=9000)
+    gateway.add_argument("--emtu", type=int, default=1500)
+    gateway.add_argument("--megabytes", type=int, default=2)
+
+    commands.add_parser("pmtud", help="F-PMTUD vs classical vs PLPMTUD")
+
+    upf = commands.add_parser("upf", help="single-core UPF throughput at an MTU")
+    upf.add_argument("--mtu", type=int, default=9000)
+    upf.add_argument("--flows", type=int, default=800)
+
+    survey = commands.add_parser("survey", help="fragment-delivery survey")
+    survey.add_argument("-n", "--population", type=int, default=389_428)
+    survey.add_argument("--seed", type=int, default=42)
+
+    commands.add_parser("fig5a", help="PXGW throughput/yield (abridged Figure 5a)")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_gateway(args) -> int:
+    from .core import GatewayConfig, PXGateway
+    from .net import Topology
+    from .tcpstack import TCPConnection, TCPListener
+
+    topo = Topology()
+    inside = topo.add_host("inside")
+    outside = topo.add_host("outside")
+    gateway = PXGateway(topo.sim, "pxgw",
+                        config=GatewayConfig(imtu=args.imtu, emtu=args.emtu))
+    topo.add_node(gateway)
+    topo.link(inside, gateway, mtu=args.imtu)
+    topo.link(gateway, outside, mtu=args.emtu)
+    topo.build_routes()
+    gateway.mark_internal(gateway.interfaces[0])
+
+    server = TCPListener(outside, 80, mss=args.emtu - 40)
+    client = TCPConnection(inside, 40000, outside.ip, 80, mss=args.imtu - 40)
+    client.connect()
+    topo.run(until=0.2)
+    server.connections[0].send_bulk(args.megabytes * 1_000_000)
+    topo.run(until=10.0)
+
+    print(f"iMTU {args.imtu} / eMTU {args.emtu}: downloaded "
+          f"{client.bytes_delivered:,} B")
+    print(f"negotiated MSS (raised by PXGW): {client.send_mss}")
+    print(f"jumbo segments spliced: {gateway.stats.merged_packets}")
+    print(f"conversion yield: {gateway.stats.conversion_yield:.1%}")
+    return 0
+
+
+def _cmd_pmtud(args) -> int:
+    from .net import Topology
+    from .pmtud import (
+        ClassicalPmtud,
+        FPmtudDaemon,
+        FPmtudProber,
+        Plpmtud,
+        ProbeEchoDaemon,
+    )
+
+    topo = Topology()
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    routers = [topo.add_router(f"r{i}", icmp_blackhole=True) for i in range(2)]
+    chain = [client] + routers + [server]
+    for index, mtu in enumerate([9000, 1400, 9000]):
+        topo.link(chain[index], chain[index + 1], mtu=mtu, delay=0.005)
+    topo.build_routes()
+    FPmtudDaemon(server)
+    ProbeEchoDaemon(server)
+
+    outcomes = {}
+    FPmtudProber(client).probe(server.ip, 9000,
+                               lambda result: outcomes.__setitem__("f", result))
+    Plpmtud(client).discover(server.ip, 9000,
+                             lambda result: outcomes.__setitem__("plp", result))
+    ClassicalPmtud(client).discover(server.ip, 9000,
+                                    lambda result: outcomes.__setitem__("c", result))
+    topo.run(until=600.0)
+
+    f, plp, classic = outcomes["f"], outcomes["plp"], outcomes["c"]
+    print("path bottleneck: 1400 B, routers are ICMP blackholes")
+    print(f"F-PMTUD   : {f.pmtu} B in {f.elapsed * 1e3:.1f} ms (1 probe)")
+    print(f"PLPMTUD   : {plp.pmtu} B in {plp.elapsed:.1f} s ({plp.probes_sent} probes)")
+    classical_pmtu = classic.pmtu if classic.pmtu is not None else "FAILED (blackhole)"
+    print(f"classical : {classical_pmtu} after {classic.elapsed:.1f} s")
+    return 0
+
+
+def _cmd_upf(args) -> int:
+    from .cpu import XEON_6554S
+    from .packet import build_udp, str_to_ip
+    from .upf import Upf
+
+    upf = Upf(n3_address=str_to_ip("10.100.0.1"))
+    ue_base = str_to_ip("172.16.0.1")
+    for index in range(args.flows):
+        upf.sessions.create_session(
+            seid=index, ue_ip=ue_base + index, uplink_teid=10_000 + index,
+            gnb_teid=20_000 + index, gnb_ip=str_to_ip("10.100.0.2"),
+        )
+    dn = str_to_ip("93.184.216.34")
+    for index in range(3000):
+        upf.process(build_udp(dn, ue_base + (index % args.flows), 80, 4000,
+                              payload=b"\0" * (args.mtu - 28)))
+    tput = upf.account.sustainable_goodput_bps(XEON_6554S, cores=1)
+    print(f"UPF @ {args.mtu} B MTU, {args.flows} sessions, 1 core: "
+          f"{tput / 1e9:.1f} Gbps "
+          f"({upf.account.cycles_per_packet():.0f} cycles/packet)")
+    return 0
+
+
+def _cmd_survey(args) -> int:
+    from .pmtud import FragmentSurvey
+
+    result = FragmentSurvey(seed=args.seed).run(args.population)
+    print(f"population             : {result.population:,}")
+    print(f"fragment delivery OK   : {result.fragment_success_rate:.4%}")
+    print(f"last-hop filters       : {result.filtered_last_hop}")
+    print(f"unresponsive           : {result.unresponsive}")
+    print(f"ICMP PMTUD success     : {result.icmp_success_rate:.1%} (2018 baseline)")
+    return 0
+
+
+def _cmd_fig5a(args) -> int:
+    from .core import Bound, GatewayConfig, GatewayDatapath
+    from .cpu import XEON_6554S
+    from .workload import interleave, make_tcp_sources
+
+    def run(config):
+        datapath = GatewayDatapath(config)
+        down = make_tcp_sources(400, 1448, tag=Bound.INBOUND)
+        up = make_tcp_sources(400, 8948, tag=Bound.OUTBOUND, base_port=30000,
+                              client_net="10.1.0", server_net="198.51.100")
+        rng = random.Random(1)
+        datapath.process_stream(interleave(down * 6 + up, 20_000, rng, 24.0),
+                                final_flush=False)
+        datapath.reset_measurement()
+        datapath.process_stream(interleave(down * 6 + up, 50_000, rng, 24.0),
+                                final_flush=False)
+        return (datapath.sustainable_throughput_bps(XEON_6554S),
+                datapath.conversion_yield)
+
+    for name, config in (
+        ("baseline", GatewayConfig(baseline_gro=True, delayed_merge=False,
+                                   hairpin_small_flows=False)),
+        ("PX", GatewayConfig()),
+        ("PX + header-only", GatewayConfig(header_only_dma=True)),
+    ):
+        tput, cy = run(config)
+        print(f"{name:18s} {tput / 1e9:8.0f} Gbps   yield {cy:.1%}")
+    return 0
+
+
+_COMMANDS = {
+    "gateway": _cmd_gateway,
+    "pmtud": _cmd_pmtud,
+    "upf": _cmd_upf,
+    "survey": _cmd_survey,
+    "fig5a": _cmd_fig5a,
+}
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""PX-caravan: UDP tunneling that preserves datagram boundaries (§4.1).
+
+UDP datagrams cannot be merged or split arbitrarily — QUIC and friends
+encrypt and frame per-datagram — so PXGW *tunnels* several datagrams of
+the same flow inside one large packet.  Per Figure 3:
+
+* the **outer** IP/UDP headers carry the entire caravan length and the
+  flow's addressing; the IP ToS field is set to ``PX_CARAVAN_TOS`` to
+  mark the packet as tunneled;
+* each **inner** record is a verbatim UDP header (carrying that
+  datagram's own length) followed by its payload.
+
+For UDP_GRO compatibility the merge engine only chains *consecutive*
+datagrams (adjacent IP IDs) of one flow with equal payload sizes (the
+final datagram may be shorter), exactly as the paper's prototype is
+configured.  Receivers inside the b-network must understand the format;
+:func:`decode_caravan` is what a modified host stack runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..packet import PX_CARAVAN_TOS, Packet, UDPHeader
+from ..packet.flow import FlowKey
+from ..packet.udp import UDP_HEADER_LEN
+
+__all__ = [
+    "is_caravan",
+    "encode_caravan",
+    "decode_caravan",
+    "CaravanMergeEngine",
+    "CaravanSplitEngine",
+]
+
+
+def is_caravan(packet: Packet) -> bool:
+    """True when *packet* is a PX-caravan bundle."""
+    return packet.is_udp and packet.ip.tos == PX_CARAVAN_TOS
+
+
+def encode_caravan(packets: List[Packet]) -> Packet:
+    """Bundle same-flow UDP *packets* into one caravan packet.
+
+    The outer headers are cloned from the first datagram; inner records
+    are each datagram's UDP header plus payload.
+    """
+    if not packets:
+        raise ValueError("cannot build an empty caravan")
+    key = packets[0].flow_key()
+    for packet in packets:
+        if not packet.is_udp:
+            raise ValueError("caravans carry UDP only")
+        if packet.flow_key() != key:
+            raise ValueError("caravan members must share one flow")
+    if len(packets) == 1:
+        return packets[0]
+
+    chunks: List[bytes] = []
+    for packet in packets:
+        inner = UDPHeader(
+            src_port=packet.udp.src_port,
+            dst_port=packet.udp.dst_port,
+        )
+        chunks.append(inner.pack(packet.payload) + packet.payload)
+    body = b"".join(chunks)
+
+    first = packets[0]
+    outer_ip = first.ip.copy(tos=PX_CARAVAN_TOS)
+    outer_udp = UDPHeader(src_port=first.udp.src_port, dst_port=first.udp.dst_port,
+                          length=UDP_HEADER_LEN + len(body))
+    outer_ip.total_length = outer_ip.header_len + UDP_HEADER_LEN + len(body)
+    caravan = Packet(ip=outer_ip, l4=outer_udp, payload=body)
+    caravan.meta["caravan_inner"] = len(packets)
+    return caravan
+
+
+def decode_caravan(packet: Packet) -> List[Packet]:
+    """Unpack a caravan back into its original datagrams.
+
+    Restored datagrams inherit the outer addressing, a cleared ToS, and
+    consecutive IP IDs continuing from the outer header — which keeps a
+    downstream UDP_GRO re-merge possible.
+    """
+    if not is_caravan(packet):
+        return [packet]
+    datagrams: List[Packet] = []
+    body = packet.payload
+    cursor = 0
+    index = 0
+    while cursor < len(body):
+        if cursor + UDP_HEADER_LEN > len(body):
+            raise ValueError("truncated caravan inner header")
+        inner = UDPHeader.unpack(body[cursor:])
+        payload_len = inner.length - UDP_HEADER_LEN
+        if payload_len < 0 or cursor + inner.length > len(body):
+            raise ValueError("bad caravan inner length")
+        payload = body[cursor + UDP_HEADER_LEN : cursor + inner.length]
+        ip = packet.ip.copy(
+            tos=0,
+            identification=(packet.ip.identification + index) & 0xFFFF,
+        )
+        udp = UDPHeader(src_port=inner.src_port, dst_port=inner.dst_port,
+                        length=inner.length)
+        ip.total_length = ip.header_len + inner.length
+        datagrams.append(Packet(ip=ip, l4=udp, payload=payload))
+        cursor += inner.length
+        index += 1
+    if not datagrams:
+        raise ValueError("empty caravan body")
+    return datagrams
+
+
+class _CaravanContext:
+    """Datagrams accumulating toward one caravan."""
+
+    __slots__ = ("packets", "bytes", "next_ip_id", "segment_size", "created_at", "last_at")
+
+    def __init__(self, packet: Packet, now: float):
+        self.packets = [packet]
+        self.bytes = UDP_HEADER_LEN + len(packet.payload)
+        self.next_ip_id = (packet.ip.identification + 1) & 0xFFFF
+        self.segment_size = len(packet.payload)
+        self.created_at = now
+        self.last_at = now
+
+
+class CaravanMergeEngine:
+    """Accumulates same-flow UDP datagrams into caravans.
+
+    ``max_payload`` bounds the outer UDP payload (iMTU - 28).  The
+    UDP_GRO compatibility rules (consecutive IP IDs, equal sizes,
+    shorter final datagram terminates) are enforced per context.
+    """
+
+    def __init__(self, max_payload: int, max_contexts: int = 4096,
+                 require_consecutive_ids: bool = True):
+        if max_payload < 2 * UDP_HEADER_LEN:
+            raise ValueError("max_payload too small for any caravan")
+        self.max_payload = max_payload
+        self.max_contexts = max_contexts
+        self.require_consecutive_ids = require_consecutive_ids
+        self._contexts: "OrderedDict[FlowKey, _CaravanContext]" = OrderedDict()
+        self.built = 0
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def feed(self, packet: Packet, now: float = 0.0) -> List[Packet]:
+        """Offer one datagram; returns caravans (or datagrams) to emit."""
+        if not packet.is_udp or packet.is_fragment or is_caravan(packet):
+            return [packet]
+        key = packet.flow_key()
+        context = self._contexts.get(key)
+        record_len = UDP_HEADER_LEN + len(packet.payload)
+
+        if context is not None:
+            compatible = (
+                context.bytes + record_len <= self.max_payload
+                and len(packet.payload) <= context.segment_size
+                and (
+                    not self.require_consecutive_ids
+                    or packet.ip.identification == context.next_ip_id
+                )
+            )
+            if compatible:
+                context.packets.append(packet)
+                context.bytes += record_len
+                context.next_ip_id = (packet.ip.identification + 1) & 0xFFFF
+                context.last_at = now
+                self._contexts.move_to_end(key)
+                # A shorter datagram ends the bundle (UDP_GRO rule); so
+                # does running out of room for another full record.
+                next_record = UDP_HEADER_LEN + context.segment_size
+                terminal = (
+                    len(packet.payload) < context.segment_size
+                    or context.bytes + next_record > self.max_payload
+                )
+                if terminal:
+                    return self._flush_key(key)
+                return []
+            emitted = self._flush_key(key)
+            emitted.extend(self._start(key, packet, now))
+            return emitted
+        return self._start(key, packet, now)
+
+    def _start(self, key: FlowKey, packet: Packet, now: float) -> List[Packet]:
+        emitted: List[Packet] = []
+        if len(self._contexts) >= self.max_contexts:
+            _key, evicted = self._contexts.popitem(last=False)
+            emitted.append(self._materialize(evicted))
+        self._contexts[key] = _CaravanContext(packet, now)
+        return emitted
+
+    def _materialize(self, context: _CaravanContext) -> Packet:
+        if len(context.packets) == 1:
+            return context.packets[0]
+        self.built += 1
+        return encode_caravan(context.packets)
+
+    def _flush_key(self, key: FlowKey) -> List[Packet]:
+        context = self._contexts.pop(key, None)
+        if context is None:
+            return []
+        return [self._materialize(context)]
+
+    def flush(self) -> List[Packet]:
+        """Flush everything pending."""
+        emitted = [self._materialize(context) for context in self._contexts.values()]
+        self._contexts.clear()
+        return emitted
+
+    def flush_older_than(self, now: float, max_age: float) -> List[Packet]:
+        """Flush contexts older than *max_age* (the merge-delay budget).
+
+        Age-based so a slow steady stream cannot hold datagrams beyond
+        the budget.
+        """
+        stale = [key for key, context in self._contexts.items()
+                 if now - context.created_at >= max_age]
+        emitted: List[Packet] = []
+        for key in stale:
+            emitted.extend(self._flush_key(key))
+        return emitted
+
+    def pending_packets(self) -> int:
+        """Datagrams currently held in contexts."""
+        return sum(len(context.packets) for context in self._contexts.values())
+
+    def pending_bytes(self) -> int:
+        """Payload+record bytes currently held in contexts."""
+        return sum(context.bytes for context in self._contexts.values())
+
+
+class CaravanSplitEngine:
+    """Opens caravans at the b-network egress back into datagrams."""
+
+    def __init__(self):
+        self.opened = 0
+
+    def process(self, packet: Packet) -> List[Packet]:
+        """Split if *packet* is a caravan; otherwise pass through."""
+        if not is_caravan(packet):
+            return [packet]
+        self.opened += 1
+        return decode_caravan(packet)

@@ -1,0 +1,104 @@
+"""The PXGW flow table: per-flow state with O(1) lookup and LRU eviction.
+
+One lookup happens per received packet, so the table is a plain dict
+(hash of the 5-tuple NamedTuple) fronted by an OrderedDict LRU.  The
+per-flow record carries what the classifier and merge engines need:
+packet/byte counters, the mouse/elephant verdict, and recency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator, Optional
+
+from ..packet import FlowKey
+
+__all__ = ["FlowState", "FlowTable"]
+
+
+class FlowState:
+    """Mutable per-flow record."""
+
+    __slots__ = ("key", "packets", "bytes", "first_seen", "last_seen",
+                 "is_elephant", "window_packets", "window_start")
+
+    def __init__(self, key: FlowKey, now: float):
+        self.key = key
+        self.packets = 0
+        self.bytes = 0
+        self.first_seen = now
+        self.last_seen = now
+        self.is_elephant = False
+        self.window_packets = 0
+        self.window_start = now
+
+    def touch(self, total_len: int, now: float) -> None:
+        """Account one packet of this flow."""
+        self.packets += 1
+        self.bytes += total_len
+        self.last_seen = now
+        self.window_packets += 1
+
+    def reset_window(self, now: float) -> None:
+        """Start a new classification window."""
+        self.window_packets = 0
+        self.window_start = now
+
+
+class FlowTable:
+    """LRU-bounded flow state store."""
+
+    def __init__(self, capacity: int = 1_000_000,
+                 on_evict: Optional[Callable[[FlowState], None]] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self._flows: "OrderedDict[FlowKey, FlowState]" = OrderedDict()
+        self.lookups = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return key in self._flows
+
+    def __iter__(self) -> Iterator[FlowState]:
+        return iter(self._flows.values())
+
+    def lookup(self, key: FlowKey, now: float = 0.0) -> FlowState:
+        """Find or create the flow record for *key*."""
+        self.lookups += 1
+        state = self._flows.get(key)
+        if state is None:
+            self.misses += 1
+            state = FlowState(key, now)
+            if len(self._flows) >= self.capacity:
+                _evicted_key, evicted = self._flows.popitem(last=False)
+                self.evictions += 1
+                if self.on_evict:
+                    self.on_evict(evicted)
+            self._flows[key] = state
+        else:
+            self._flows.move_to_end(key)
+        return state
+
+    def peek(self, key: FlowKey) -> Optional[FlowState]:
+        """Return the record without creating or promoting it."""
+        return self._flows.get(key)
+
+    def remove(self, key: FlowKey) -> Optional[FlowState]:
+        """Delete and return a flow record."""
+        return self._flows.pop(key, None)
+
+    def expire_idle(self, now: float, idle_timeout: float) -> int:
+        """Drop flows idle past *idle_timeout*; returns count removed."""
+        stale = [key for key, state in self._flows.items()
+                 if now - state.last_seen > idle_timeout]
+        for key in stale:
+            state = self._flows.pop(key)
+            if self.on_evict:
+                self.on_evict(state)
+        return len(stale)

@@ -1,0 +1,160 @@
+"""PXGateway: the simulator-facing MTU-translating border middlebox.
+
+A PXGateway is a Router whose forwarding path runs every packet through
+a :class:`GatewayWorker` pipeline.  The crossing direction is derived
+from the routing decision: egress on an interface marked *internal*
+means the packet is entering the b-network (merge up), anything else is
+leaving it (split down).
+
+Two §4.2 extensions are included:
+
+* **Explicit iMTU advertisement** — a neighbor interface can be taught
+  the peer network's iMTU (``set_neighbor_imtu``).  When the peer's
+  iMTU is at least ours, packets cross untranslated (no split), and
+  caravans are forwarded intact.
+* **F-PMTUD probe passthrough** — probes to :data:`FPMTUD_PORT` are
+  forwarded without caravan merging, as F-PMTUD requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..cpu import DEFAULT_GATEWAY_COSTS, GatewayCosts
+from ..net.router import Router
+from ..sim.engine import Simulator
+from ..sim.node import Interface
+from ..sim.trace import PacketTrace
+from ..packet import Packet
+from .config import Bound, GatewayConfig
+from .worker import GatewayWorker
+
+__all__ = ["PXGateway", "FPMTUD_PORT"]
+
+#: The well-known UDP port the F-PMTUD daemon listens on.
+FPMTUD_PORT = 7837
+
+
+class PXGateway(Router):
+    """An MTU-translating gateway at the border of a b-network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: Optional[GatewayConfig] = None,
+        costs: GatewayCosts = DEFAULT_GATEWAY_COSTS,
+        trace: Optional[PacketTrace] = None,
+    ):
+        super().__init__(sim, name, trace=trace)
+        self.config = config or GatewayConfig()
+        self.worker = GatewayWorker(self.config, costs=costs)
+        self._internal: Set[int] = set()  # ids of internal interfaces
+        self._neighbor_imtu: dict = {}
+        self._flush_handle = None
+        self.passthrough_udp_ports: Set[int] = {FPMTUD_PORT}
+        self.untranslated = 0
+        self._imtu_speaker = None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def mark_internal(self, interface: Interface) -> None:
+        """Declare *interface* as facing the b-network (iMTU side)."""
+        if interface not in self.interfaces:
+            raise ValueError("interface does not belong to this gateway")
+        self._internal.add(id(interface))
+
+    def is_internal(self, interface: Interface) -> bool:
+        """True if *interface* faces the b-network."""
+        return id(interface) in self._internal
+
+    def set_neighbor_imtu(self, interface: Interface, imtu: int) -> None:
+        """Record an explicitly advertised neighbor iMTU (§4.2)."""
+        self._neighbor_imtu[id(interface)] = imtu
+
+    def clear_neighbor_imtu(self, interface: Interface) -> None:
+        """Forget a neighbor's iMTU (expiry: fall back to translation)."""
+        self._neighbor_imtu.pop(id(interface), None)
+
+    def neighbor_imtu(self, interface: Interface) -> Optional[int]:
+        """The advertised iMTU of the network behind *interface*."""
+        return self._neighbor_imtu.get(id(interface))
+
+    def enable_imtu_exchange(self, interval: float = 30.0,
+                             hold_time: float = 90.0) -> "ImtuSpeaker":
+        """Run the §4.2 iMTU exchange protocol on this gateway."""
+        from .imtu_exchange import ImtuSpeaker
+
+        self._imtu_speaker = ImtuSpeaker(self, interval=interval, hold_time=hold_time)
+        self._imtu_speaker.start()
+        return self._imtu_speaker
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, interface: Interface) -> None:
+        if self.trace:
+            self.trace.record(self.sim.now, self.name, "rx", packet)
+        if self.owns_address(packet.ip.dst):
+            if self._imtu_speaker is not None and self._imtu_speaker.handle(
+                packet, interface
+            ):
+                return
+            self._deliver_local(packet, interface)
+            return
+
+        route = self.routes.lookup(packet.ip.dst)
+        if route is None:
+            self.dropped += 1
+            return
+        egress = route.interface
+
+        if self.is_internal(egress):
+            bound = Bound.INBOUND
+        elif (imtu := self._neighbor_imtu.get(id(egress))) is not None and imtu >= self.config.imtu:
+            # Peer b-network advertised an equal-or-larger iMTU: forward
+            # large packets and caravans untranslated.
+            self.untranslated += 1
+            self.forward(packet, arrived_on=interface)
+            return
+        else:
+            bound = Bound.OUTBOUND
+
+        if self._is_passthrough(packet):
+            self.forward(packet, arrived_on=interface)
+            return
+
+        for out in self.worker.process(packet, bound, now=self.sim.now):
+            self.forward(out, arrived_on=interface)
+        self._ensure_flush_timer()
+
+    def _is_passthrough(self, packet: Packet) -> bool:
+        """F-PMTUD probes (and their fragments) skip caravan merging."""
+        if not packet.is_udp:
+            return False
+        if packet.is_fragment:
+            return True  # fragments cannot be merged; forward as-is
+        return packet.udp.dst_port in self.passthrough_udp_ports
+
+    # ------------------------------------------------------------------
+    # Delayed-merge timer
+    # ------------------------------------------------------------------
+    def _ensure_flush_timer(self) -> None:
+        if self._flush_handle is not None:
+            return
+        if self.worker.merge.pending_bytes() == 0 and self.worker.caravan_merge.pending_packets() == 0:
+            return
+        self._flush_handle = self.sim.schedule(self.config.merge_timeout, self._on_flush_timer)
+
+    def _on_flush_timer(self) -> None:
+        self._flush_handle = None
+        for out in self.worker.end_batch(self.sim.now):
+            self.forward(out)
+        self._ensure_flush_timer()
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """The worker's gateway statistics."""
+        return self.worker.stats

@@ -1,0 +1,129 @@
+"""The iMTU exchange protocol between neighboring PXGWs (§4.2).
+
+When b-networks neighbor each other, their gateways can skip
+translation for traffic crossing between them — but only if each knows
+the peer's iMTU.  The paper sketches two dissemination options
+(augmented BGP announcements, or "a new messaging protocol that runs on
+PXGW"); this module implements the latter as a minimal soft-state
+protocol:
+
+* a gateway periodically sends an ANNOUNCE (magic, version, iMTU,
+  hold-time) out of each external interface to the link peer;
+* a receiving gateway records the advertised iMTU against the arrival
+  interface, valid for the hold time;
+* missing refreshes let the entry expire, falling back to translation —
+  so a decommissioned or rebooted peer fails safe.
+
+Wire format (UDP, port :data:`IMTU_EXCHANGE_PORT`) — hold time in
+tenths of a second (max ~109 minutes)::
+
+    0      4       5         7              9
+    +------+-------+---------+--------------+
+    | PXIM | ver=1 | iMTU u16| hold u16 ds  |
+    +------+-------+---------+--------------+
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple
+
+from ..packet import Packet, build_udp
+
+__all__ = ["IMTU_EXCHANGE_PORT", "pack_announcement", "parse_announcement", "ImtuSpeaker"]
+
+IMTU_EXCHANGE_PORT = 7839
+_MAGIC = b"PXIM"
+_VERSION = 1
+
+
+def pack_announcement(imtu: int, hold_time: float) -> bytes:
+    """Serialize an ANNOUNCE message (hold time in seconds)."""
+    if not 576 <= imtu <= 65535:
+        raise ValueError(f"iMTU out of range: {imtu}")
+    deciseconds = int(round(hold_time * 10))
+    if not 1 <= deciseconds <= 65535:
+        raise ValueError(f"hold time out of range: {hold_time}")
+    return _MAGIC + struct.pack("!BHH", _VERSION, imtu, deciseconds)
+
+
+def parse_announcement(payload: bytes) -> "Optional[Tuple[int, float]]":
+    """Parse an ANNOUNCE; returns (imtu, hold_seconds) or None if invalid."""
+    if len(payload) < 9 or payload[:4] != _MAGIC:
+        return None
+    version, imtu, deciseconds = struct.unpack_from("!BHH", payload, 4)
+    if version != _VERSION:
+        return None
+    return imtu, deciseconds / 10.0
+
+
+class ImtuSpeaker:
+    """Runs the iMTU exchange for one gateway.
+
+    Announces the gateway's own iMTU out of every *external* interface
+    on a timer, and installs/expires learned neighbor iMTUs.  Attach
+    with :meth:`repro.core.PXGateway.enable_imtu_exchange`.
+    """
+
+    def __init__(self, gateway, interval: float = 30.0, hold_time: float = 90.0):
+        if hold_time <= interval:
+            raise ValueError("hold time must exceed the announce interval")
+        self.gateway = gateway
+        self.sim = gateway.sim
+        self.interval = interval
+        self.hold_time = hold_time
+        self.announcements_sent = 0
+        self.announcements_received = 0
+        #: interface-id -> absolute expiry time of the learned entry.
+        self._expiry: Dict[int, float] = {}
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic announcements (first one immediately)."""
+        self._announce()
+
+    def stop(self) -> None:
+        """Stop announcing (learned entries still expire naturally)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _announce(self) -> None:
+        payload = pack_announcement(self.gateway.config.imtu, self.hold_time)
+        for interface in self.gateway.interfaces:
+            if self.gateway.is_internal(interface) or interface.link is None:
+                continue
+            peer_ip = interface.link.dst.ip
+            packet = build_udp(
+                interface.ip, peer_ip, IMTU_EXCHANGE_PORT, IMTU_EXCHANGE_PORT,
+                payload=payload, ttl=1,  # link-local by construction
+            )
+            interface.send(packet)
+            self.announcements_sent += 1
+        self._timer = self.sim.schedule(self.interval, self._announce)
+
+    # ------------------------------------------------------------------
+    def handle(self, packet: Packet, interface) -> bool:
+        """Process a possible ANNOUNCE arriving at *interface*.
+
+        Returns True when consumed.  Called by the gateway's local
+        delivery path.
+        """
+        if not packet.is_udp or packet.udp.dst_port != IMTU_EXCHANGE_PORT:
+            return False
+        parsed = parse_announcement(packet.payload)
+        if parsed is None:
+            return True  # ours, but malformed: swallow
+        imtu, hold_time = parsed
+        self.announcements_received += 1
+        self.gateway.set_neighbor_imtu(interface, imtu)
+        self._expiry[id(interface)] = self.sim.now + min(hold_time, self.hold_time)
+        self.sim.schedule(min(hold_time, self.hold_time), self._check_expiry, interface)
+        return True
+
+    def _check_expiry(self, interface) -> None:
+        expiry = self._expiry.get(id(interface))
+        if expiry is not None and self.sim.now >= expiry:
+            self.gateway.clear_neighbor_imtu(interface)
+            del self._expiry[id(interface)]

@@ -1,0 +1,37 @@
+"""PXGW's TCP split engine: stateless TSO-style segmentation at egress.
+
+Splitting needs no flow state — each oversized segment is cut into
+eMTU-sized pieces independently — which is why the paper calls
+segmentation "inherently scalable" in contrast to merging.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..packet import Packet
+from ..nic.offloads import segment_tcp
+
+__all__ = ["TcpSplitEngine"]
+
+
+class TcpSplitEngine:
+    """Splits TCP segments exceeding the external MTU."""
+
+    def __init__(self, emtu: int):
+        if emtu < 576:
+            raise ValueError("eMTU below the IPv4 minimum")
+        self.emtu = emtu
+        self.split_packets = 0
+        self.output_segments = 0
+
+    def process(self, packet: Packet) -> List[Packet]:
+        """Return eMTU-conformant segments for *packet*."""
+        if not packet.is_tcp or packet.total_len <= self.emtu:
+            return [packet]
+        mss = self.emtu - packet.ip.header_len - packet.tcp.header_len
+        segments = segment_tcp(packet, mss)
+        if len(segments) > 1:
+            self.split_packets += 1
+            self.output_segments += len(segments)
+        return segments

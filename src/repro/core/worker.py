@@ -1,0 +1,196 @@
+"""One PXGW worker core: the full per-packet pipeline with cycle pricing.
+
+A worker owns the flow state for the flows RSS assigns to it, so the
+pipeline is lock-free.  Every packet is processed by real engine code
+(merge/split/caravan/clamp); cycle and memory charges follow
+:class:`repro.cpu.GatewayCosts` and the active DMA model, which is how
+Figure 5's throughput numbers are produced.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cpu import DEFAULT_GATEWAY_COSTS, CycleAccount, GatewayCosts
+from ..nic.dma import FULL_DMA, HEADER_ONLY_DMA
+from ..packet import Packet
+from .caravan import CaravanMergeEngine, CaravanSplitEngine, is_caravan
+from .classifier import FlowClassifier
+from .config import Bound, GatewayConfig
+from .flow_table import FlowTable
+from .mss_clamp import MssClamp
+from .stats import GatewayStats
+from .tcp_merge import TcpMergeEngine
+from .tcp_split import TcpSplitEngine
+
+__all__ = ["GatewayWorker"]
+
+
+class GatewayWorker:
+    """A single-core PXGW datapath instance."""
+
+    def __init__(
+        self,
+        config: GatewayConfig,
+        costs: GatewayCosts = DEFAULT_GATEWAY_COSTS,
+        index: int = 0,
+    ):
+        self.config = config
+        self.costs = costs
+        self.index = index
+        self.dma = HEADER_ONLY_DMA if config.header_only_dma else FULL_DMA
+        self.merge = TcpMergeEngine(
+            config.imtu_tcp_payload, max_contexts=config.merge_contexts_per_worker
+        )
+        self.split = TcpSplitEngine(config.emtu)
+        self.caravan_merge = CaravanMergeEngine(
+            config.imtu_udp_payload, max_contexts=config.merge_contexts_per_worker
+        )
+        self.caravan_split = CaravanSplitEngine()
+        self.mss_clamp = MssClamp(config)
+        self.flows = FlowTable(capacity=1_000_000)
+        self.classifier = FlowClassifier(
+            self.flows, threshold_packets=config.elephant_threshold_packets
+        )
+        self.stats = GatewayStats()
+        self.account = CycleAccount()
+
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet, bound: str, now: float = 0.0) -> List[Packet]:
+        """Run one packet through the pipeline; returns egress packets."""
+        costs = self.costs
+        self.stats.rx_packets += 1
+        self.account.note_packet(packet.total_len)
+
+        key = packet.flow_key()
+        state = None
+        if key is not None:
+            self.account.charge(costs.classifier_per_packet, category="classify")
+            state = self.classifier.observe(packet, now)
+
+        # Handshake packets always take the slow path: MSS intervention.
+        if packet.is_tcp and packet.tcp.syn:
+            self.account.charge(costs.rx_descriptor + costs.flow_lookup, category="slowpath")
+            if self.config.mss_clamp and self.mss_clamp.process(packet, bound):
+                self.stats.mss_rewrites += 1
+            return self._emit([packet], bound, data=False)
+
+        # Mice bypass the merge machinery via the NIC hairpin — but only
+        # when the packet already conforms to the egress MTU (a jumbo
+        # heading outside must still go through the split engine).
+        if (
+            self.config.hairpin_small_flows
+            and state is not None
+            and not state.is_elephant
+            and not is_caravan(packet)
+            and (bound == Bound.INBOUND or packet.total_len <= self.config.emtu)
+        ):
+            self.account.charge(costs.hairpin_forward, category="hairpin")
+            self.stats.hairpinned += 1
+            return self._emit([packet], bound, data=self._is_data(packet))
+
+        self.account.charge(costs.rx_descriptor, category="rx")
+        dma = self.dma
+        if self.config.header_only_dma:
+            resident = self.merge.pending_bytes() + self.caravan_merge.pending_bytes()
+            if resident + packet.total_len > self.config.nic_memory_bytes:
+                # On-NIC memory exhausted: this packet's payload must
+                # cross into host DRAM after all (§5.1's "limited NIC
+                # store" caveat).
+                dma = FULL_DMA
+                self.stats.hdo_fallbacks += 1
+            else:
+                self.account.charge(costs.header_only_per_packet, category="hdo")
+        self.account.charge(0.0, mem_bytes=dma.mem_bytes(packet))
+
+        if packet.is_tcp:
+            if bound == Bound.INBOUND:
+                return self._tcp_inbound(packet, now)
+            return self._tcp_outbound(packet)
+        if packet.is_udp:
+            if bound == Bound.INBOUND:
+                return self._udp_inbound(packet, now)
+            return self._udp_outbound(packet)
+
+        # ICMP and anything else is forwarded untouched.
+        return self._emit([packet], bound, data=False)
+
+    # ------------------------------------------------------------------
+    def _tcp_inbound(self, packet: Packet, now: float) -> List[Packet]:
+        costs = self.costs
+        if self.config.baseline_gro:
+            self.account.charge(costs.baseline_gro_per_packet, category="gro-sw")
+        else:
+            self.account.charge(costs.flow_lookup + costs.merge_append, category="merge")
+        outputs = self.merge.feed(packet, now)
+        for out in outputs:
+            self.account.charge(costs.merge_flush, category="merge")
+            if out.meta.get("spliced"):
+                self.stats.merged_packets += 1
+        return self._emit(outputs, Bound.INBOUND, data=True)
+
+    def _tcp_outbound(self, packet: Packet) -> List[Packet]:
+        costs = self.costs
+        segments = self.split.process(packet)
+        if self.config.baseline_gro and len(segments) > 1:
+            self.account.charge(costs.baseline_tx_per_packet * len(segments), category="tso-sw")
+        self.account.charge(costs.split_per_segment * len(segments), category="split")
+        self.stats.split_segments += len(segments) if len(segments) > 1 else 0
+        return self._emit(segments, Bound.OUTBOUND, data=True)
+
+    def _udp_inbound(self, packet: Packet, now: float) -> List[Packet]:
+        costs = self.costs
+        if not self.config.caravan:
+            return self._emit([packet], Bound.INBOUND, data=True)
+        self.account.charge(costs.flow_lookup + costs.caravan_append, category="caravan")
+        outputs = self.caravan_merge.feed(packet, now)
+        for out in outputs:
+            self.account.charge(costs.caravan_flush, category="caravan")
+            if is_caravan(out):
+                self.stats.caravans_built += 1
+        return self._emit(outputs, Bound.INBOUND, data=True)
+
+    def _udp_outbound(self, packet: Packet) -> List[Packet]:
+        costs = self.costs
+        if is_caravan(packet):
+            datagrams = self.caravan_split.process(packet)
+            self.stats.caravans_opened += 1
+            self.account.charge(
+                costs.caravan_split_per_datagram * len(datagrams), category="caravan"
+            )
+            return self._emit(datagrams, Bound.OUTBOUND, data=True)
+        return self._emit([packet], Bound.OUTBOUND, data=True)
+
+    # ------------------------------------------------------------------
+    def end_batch(self, now: float) -> List[Packet]:
+        """Poll-batch boundary: apply the configured flush policy.
+
+        Returns flushed packets (always inbound: only the merge engines
+        hold state).  Delayed merging only flushes contexts that have
+        exceeded the merge timeout; the baseline flushes everything, as
+        the DPDK GRO library does at each ``gro_timeout`` expiry.
+        """
+        if self.config.delayed_merge:
+            flushed = self.merge.flush_older_than(now, self.config.merge_timeout)
+            flushed += self.caravan_merge.flush_older_than(now, self.config.merge_timeout)
+        else:
+            flushed = self.merge.flush() + self.caravan_merge.flush()
+        for out in flushed:
+            self.account.charge(self.costs.merge_flush, category="merge")
+            if is_caravan(out):
+                self.stats.caravans_built += 1
+        return self._emit(flushed, Bound.INBOUND, data=True)
+
+    def _is_data(self, packet: Packet) -> bool:
+        if packet.is_tcp:
+            return len(packet.payload) > 0
+        return packet.is_udp
+
+    def _emit(self, packets: List[Packet], bound: str, data: bool) -> List[Packet]:
+        costs = self.costs
+        for packet in packets:
+            self.account.charge(costs.tx_descriptor, category="tx")
+            self.stats.tx_packets += 1
+            if bound == Bound.INBOUND and data and self._is_data(packet):
+                self.stats.note_inbound_data_packet(packet.total_len, self.config.imtu)
+        return packets

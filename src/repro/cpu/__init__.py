@@ -1,0 +1,30 @@
+"""CPU cycle accounting and calibrated cost presets."""
+
+from .calibration import (
+    DEFAULT_GATEWAY_COSTS,
+    DEFAULT_HOST_COSTS,
+    DEFAULT_SERVER_COSTS,
+    DEFAULT_UPF_COSTS,
+    XEON_5512U,
+    XEON_6554S,
+    GatewayCosts,
+    HostCosts,
+    ServerCosts,
+    UpfCosts,
+)
+from .cycles import CpuSpec, CycleAccount
+
+__all__ = [
+    "CpuSpec",
+    "CycleAccount",
+    "GatewayCosts",
+    "HostCosts",
+    "UpfCosts",
+    "ServerCosts",
+    "XEON_6554S",
+    "XEON_5512U",
+    "DEFAULT_GATEWAY_COSTS",
+    "DEFAULT_HOST_COSTS",
+    "DEFAULT_UPF_COSTS",
+    "DEFAULT_SERVER_COSTS",
+]

@@ -1,0 +1,8 @@
+"""Network elements: hosts, routers, routing tables, topology builder."""
+
+from .host import Host
+from .router import Router
+from .routing import Route, RoutingTable
+from .topology import Topology
+
+__all__ = ["Host", "Router", "Route", "RoutingTable", "Topology"]

@@ -1,0 +1,78 @@
+"""Longest-prefix-match routing tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..packet.address import in_subnet, make_subnet
+from ..sim.node import Interface
+
+__all__ = ["Route", "RoutingTable"]
+
+
+@dataclass
+class Route:
+    """One forwarding entry: destination prefix → egress interface."""
+
+    network: int
+    mask: int
+    interface: Interface
+    metric: int = 0
+
+    @property
+    def prefix_len(self) -> int:
+        """Length of the prefix in bits."""
+        return bin(self.mask).count("1")
+
+
+class RoutingTable:
+    """A list-based LPM table.
+
+    Entries are kept sorted by descending prefix length so the first
+    match is the longest.  Tables here hold at most a few dozen routes,
+    so a compressed trie would be over-engineering.
+    """
+
+    def __init__(self):
+        self._routes: List[Route] = []
+
+    def add(self, prefix: str, interface: Interface, metric: int = 0) -> Route:
+        """Install ``prefix`` (e.g. ``"10.1.0.0/16"``) via *interface*."""
+        network, mask = make_subnet(prefix)
+        route = Route(network=network, mask=mask, interface=interface, metric=metric)
+        self._routes.append(route)
+        self._routes.sort(key=lambda r: (-r.prefix_len, r.metric))
+        return route
+
+    def add_default(self, interface: Interface) -> Route:
+        """Install a 0.0.0.0/0 route."""
+        return self.add("0.0.0.0/0", interface)
+
+    def lookup(self, destination: int) -> Optional[Route]:
+        """Longest-prefix match for *destination*; None if unroutable."""
+        for route in self._routes:
+            if in_subnet(destination, route.network, route.mask):
+                return route
+        return None
+
+    def remove_prefix(self, prefix: str) -> int:
+        """Remove all routes for *prefix*; returns how many were removed."""
+        network, mask = make_subnet(prefix)
+        before = len(self._routes)
+        self._routes = [
+            route
+            for route in self._routes
+            if not (route.network == network and route.mask == mask)
+        ]
+        return before - len(self._routes)
+
+    def clear(self) -> None:
+        """Remove every route."""
+        self._routes.clear()
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self):
+        return iter(self._routes)

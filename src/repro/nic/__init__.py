@@ -1,0 +1,26 @@
+"""NIC offload models: LRO/GRO/TSO, RSS, DMA, queues, end-host pricing."""
+
+from .dma import FULL_DMA, HEADER_ONLY_DMA, DmaModel, ScatterGatherList
+from .endhost import ReceiverConfig, ReceiverModel, SenderModel
+from .offloads import MergeContext, TcpCoalescer, UdpGroCoalescer, segment_tcp
+from .queues import HairpinQueue, RxQueue
+from .rss import DEFAULT_RSS_KEY, RssDistributor, toeplitz_hash
+
+__all__ = [
+    "TcpCoalescer",
+    "UdpGroCoalescer",
+    "MergeContext",
+    "segment_tcp",
+    "RssDistributor",
+    "toeplitz_hash",
+    "DEFAULT_RSS_KEY",
+    "DmaModel",
+    "ScatterGatherList",
+    "FULL_DMA",
+    "HEADER_ONLY_DMA",
+    "RxQueue",
+    "HairpinQueue",
+    "ReceiverConfig",
+    "ReceiverModel",
+    "SenderModel",
+]

@@ -1,0 +1,74 @@
+"""Receive queues and NIC-level hairpin forwarding.
+
+A hairpin queue (DPDK's RX→TX wiring inside the NIC) lets PXGW bounce
+small/unmergeable flows back out without spending host CPU or PCIe
+bandwidth — the "steering of small flows" optimization.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..packet import Packet
+
+__all__ = ["RxQueue", "HairpinQueue"]
+
+
+class RxQueue:
+    """A bounded descriptor ring feeding one worker core."""
+
+    def __init__(self, index: int, capacity: int = 4096):
+        self.index = index
+        self.capacity = capacity
+        self._ring: Deque[Packet] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+
+    def push(self, packet: Packet) -> bool:
+        """NIC-side enqueue; False (and a drop) when the ring is full."""
+        if len(self._ring) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._ring.append(packet)
+        self.enqueued += 1
+        return True
+
+    def poll(self, budget: int = 32) -> List[Packet]:
+        """Host-side poll: up to *budget* packets (a NAPI/DPDK burst)."""
+        batch: List[Packet] = []
+        while self._ring and len(batch) < budget:
+            batch.append(self._ring.popleft())
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class HairpinQueue:
+    """NIC-internal RX→TX wiring bypassing the host entirely."""
+
+    def __init__(self, capacity: int = 8192):
+        self.capacity = capacity
+        self._ring: Deque[Packet] = deque()
+        self.forwarded = 0
+        self.dropped = 0
+
+    def push(self, packet: Packet) -> bool:
+        """Steer a packet into the hairpin; False when full."""
+        if len(self._ring) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._ring.append(packet)
+        return True
+
+    def drain(self, budget: Optional[int] = None) -> List[Packet]:
+        """Packets the NIC transmits directly (no host cycles)."""
+        out: List[Packet] = []
+        while self._ring and (budget is None or len(out) < budget):
+            out.append(self._ring.popleft())
+            self.forwarded += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._ring)

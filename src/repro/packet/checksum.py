@@ -1,0 +1,72 @@
+"""Internet checksum helpers (RFC 1071) and incremental updates (RFC 1624).
+
+All multi-byte quantities are big-endian, as on the wire.  The ones'
+complement sum is computed over 16-bit words; an odd trailing byte is
+padded with a zero byte on the right.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "ones_complement_sum",
+    "internet_checksum",
+    "verify_checksum",
+    "incremental_update",
+    "pseudo_header",
+]
+
+
+def ones_complement_sum(data: bytes, initial: int = 0) -> int:
+    """Return the 16-bit ones' complement sum of *data*.
+
+    ``initial`` allows chaining sums across several buffers (e.g. a
+    pseudo-header followed by the transport segment).
+    """
+    total = initial
+    length = len(data)
+    # Sum aligned 16-bit words.
+    if length % 2:
+        total += data[-1] << 8
+        data = data[:-1]
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    # Fold carries back into the low 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """Return the Internet checksum of *data* (RFC 1071)."""
+    return (~ones_complement_sum(data, initial)) & 0xFFFF
+
+
+def verify_checksum(data: bytes, initial: int = 0) -> bool:
+    """Return ``True`` if *data* (including its checksum field) verifies.
+
+    A buffer containing a correct checksum sums to ``0xFFFF``.
+    """
+    return ones_complement_sum(data, initial) == 0xFFFF
+
+
+def incremental_update(old_checksum: int, old_word: int, new_word: int) -> int:
+    """Update a checksum after a 16-bit field changed (RFC 1624 eqn. 3).
+
+    ``HC' = ~(~HC + ~m + m')`` where *m* is the old field value and *m'*
+    the new one.  Used by PXGW when rewriting TCP MSS options and IP
+    lengths so the full segment need not be re-summed.
+    """
+    total = (~old_checksum & 0xFFFF) + (~old_word & 0xFFFF) + (new_word & 0xFFFF)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    result = (~total) & 0xFFFF
+    # 0x0000 and 0xFFFF both encode zero in ones' complement, but only
+    # 0xFFFF verifies against data summing to +0 — normalize to it.
+    return result or 0xFFFF
+
+
+def pseudo_header(src_ip: int, dst_ip: int, protocol: int, length: int) -> bytes:
+    """Return the IPv4 pseudo-header used by TCP/UDP checksums."""
+    return struct.pack("!IIBBH", src_ip, dst_ip, 0, protocol, length)

@@ -1,0 +1,89 @@
+"""Ethernet framing: header encode/decode and wire-overhead accounting.
+
+The paper's motivation hinges on per-packet overheads, so the constants
+here make the full on-the-wire cost of a frame explicit: preamble, start
+frame delimiter, header, FCS, and the inter-frame gap.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "EtherType",
+    "EthernetHeader",
+    "ETH_HEADER_LEN",
+    "ETH_FCS_LEN",
+    "ETH_PREAMBLE_LEN",
+    "ETH_IFG_LEN",
+    "ETH_WIRE_OVERHEAD",
+    "ETH_MIN_PAYLOAD",
+    "wire_bytes_for_payload",
+    "mac_to_str",
+    "str_to_mac",
+]
+
+ETH_HEADER_LEN = 14
+ETH_FCS_LEN = 4
+ETH_PREAMBLE_LEN = 8  # 7-byte preamble + 1-byte SFD
+ETH_IFG_LEN = 12
+#: Total non-payload bytes consumed on the wire per frame.
+ETH_WIRE_OVERHEAD = ETH_HEADER_LEN + ETH_FCS_LEN + ETH_PREAMBLE_LEN + ETH_IFG_LEN
+#: Minimum Ethernet payload, originally required for collision detection.
+ETH_MIN_PAYLOAD = 46
+
+
+class EtherType:
+    """Well-known EtherType values."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    IPV6 = 0x86DD
+
+
+def str_to_mac(text: str) -> bytes:
+    """Parse ``"aa:bb:cc:dd:ee:ff"`` into 6 raw bytes."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address: {text!r}")
+    return bytes(int(part, 16) for part in parts)
+
+
+def mac_to_str(mac: bytes) -> str:
+    """Format 6 raw bytes as a colon-separated MAC string."""
+    if len(mac) != 6:
+        raise ValueError("MAC address must be 6 bytes")
+    return ":".join(f"{octet:02x}" for octet in mac)
+
+
+def wire_bytes_for_payload(payload_len: int) -> int:
+    """Return total wire bytes for a frame carrying *payload_len* bytes.
+
+    Includes padding up to the 46-byte minimum payload plus all framing
+    overhead.  This is the quantity that determines serialization delay
+    on a link.
+    """
+    padded = max(payload_len, ETH_MIN_PAYLOAD)
+    return padded + ETH_WIRE_OVERHEAD
+
+
+@dataclass
+class EthernetHeader:
+    """An Ethernet II header (no 802.1Q tag)."""
+
+    dst: bytes = b"\xff" * 6
+    src: bytes = b"\x00" * 6
+    ethertype: int = EtherType.IPV4
+
+    def pack(self) -> bytes:
+        """Serialize to 14 wire bytes."""
+        return struct.pack("!6s6sH", self.dst, self.src, self.ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        """Parse the first 14 bytes of *data*."""
+        if len(data) < ETH_HEADER_LEN:
+            raise ValueError("truncated Ethernet header")
+        dst, src, ethertype = struct.unpack_from("!6s6sH", data)
+        return cls(dst=dst, src=src, ethertype=ethertype)

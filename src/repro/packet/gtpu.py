@@ -1,0 +1,45 @@
+"""GTP-U encapsulation header (3GPP TS 29.281), used by the 5G UPF substrate.
+
+Only the mandatory 8-byte header with the G-PDU message type is
+modelled; extension headers, sequence numbers, and N-PDU numbers are
+outside what the OMEC UPF datapath exercises for plain user traffic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["GTPUHeader", "GTPU_HEADER_LEN", "GTPU_PORT", "GTPU_MSG_GPDU"]
+
+GTPU_HEADER_LEN = 8
+#: UDP port GTP-U tunnels run over.
+GTPU_PORT = 2152
+#: Message type for an encapsulated user PDU.
+GTPU_MSG_GPDU = 0xFF
+
+
+@dataclass
+class GTPUHeader:
+    """A minimal GTP-U v1 header: flags, message type, length, TEID."""
+
+    teid: int = 0
+    message_type: int = GTPU_MSG_GPDU
+    length: int = 0
+
+    def pack(self, payload_len: "int | None" = None) -> bytes:
+        """Serialize; *payload_len* sets the length field when given."""
+        if payload_len is not None:
+            self.length = payload_len
+        flags = 0x30  # version 1, protocol type GTP, no optional fields
+        return struct.pack("!BBHI", flags, self.message_type, self.length, self.teid)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "GTPUHeader":
+        """Parse a GTP-U header from *data*."""
+        if len(data) < GTPU_HEADER_LEN:
+            raise ValueError("truncated GTP-U header")
+        flags, message_type, length, teid = struct.unpack_from("!BBHI", data)
+        if (flags >> 5) != 1:
+            raise ValueError("unsupported GTP version")
+        return cls(teid=teid, message_type=message_type, length=length)

@@ -1,0 +1,154 @@
+"""IPv4 header encode/decode with checksum support.
+
+The header carries the fields PXGW and F-PMTUD depend on: the DF/MF
+flags and fragment offset (fragmentation is F-PMTUD's probe signal), the
+identification field (UDP_GRO-compatible caravan merging keys on
+consecutive IP IDs), and the ToS byte (marks PX-caravan packets).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .checksum import internet_checksum, verify_checksum
+
+__all__ = ["IPProto", "IPv4Header", "IP_HEADER_LEN", "IP_MAX_PACKET", "PX_CARAVAN_TOS"]
+
+IP_HEADER_LEN = 20
+#: Maximum IPv4 packet size (16-bit total length).
+IP_MAX_PACKET = 65535
+#: ToS value PXGW writes into caravan outer headers (DSCP pool-3 codepoint).
+PX_CARAVAN_TOS = 0x04
+
+
+class IPProto:
+    """IP protocol numbers used by the library."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+@dataclass
+class IPv4Header:
+    """A parsed IPv4 header (options supported as an opaque blob)."""
+
+    src: int = 0
+    dst: int = 0
+    protocol: int = IPProto.TCP
+    total_length: int = IP_HEADER_LEN
+    identification: int = 0
+    dont_fragment: bool = False
+    more_fragments: bool = False
+    fragment_offset: int = 0  # in 8-byte units
+    ttl: int = 64
+    tos: int = 0
+    options: bytes = field(default=b"", repr=False)
+
+    @property
+    def header_len(self) -> int:
+        """Header length in bytes, including options."""
+        return IP_HEADER_LEN + len(self.options)
+
+    @property
+    def payload_len(self) -> int:
+        """Bytes of payload carried after the header."""
+        return self.total_length - self.header_len
+
+    @property
+    def is_fragment(self) -> bool:
+        """True for any fragment (first, middle, or last) of a datagram."""
+        return self.more_fragments or self.fragment_offset > 0
+
+    def copy(self, **overrides) -> "IPv4Header":
+        """Return a copy with selected fields replaced."""
+        fields = {
+            "src": self.src,
+            "dst": self.dst,
+            "protocol": self.protocol,
+            "total_length": self.total_length,
+            "identification": self.identification,
+            "dont_fragment": self.dont_fragment,
+            "more_fragments": self.more_fragments,
+            "fragment_offset": self.fragment_offset,
+            "ttl": self.ttl,
+            "tos": self.tos,
+            "options": self.options,
+        }
+        fields.update(overrides)
+        return IPv4Header(**fields)
+
+    def pack(self, payload_len: "int | None" = None) -> bytes:
+        """Serialize the header, computing total length and checksum.
+
+        When *payload_len* is given the total-length field is derived
+        from it; otherwise the stored ``total_length`` is used as-is.
+        """
+        if len(self.options) % 4:
+            raise ValueError("IPv4 options must be padded to 32-bit words")
+        if payload_len is not None:
+            self.total_length = self.header_len + payload_len
+        if self.total_length > IP_MAX_PACKET:
+            raise ValueError(f"IPv4 packet too large: {self.total_length}")
+        ihl = self.header_len // 4
+        version_ihl = (4 << 4) | ihl
+        flags = (0x4000 if self.dont_fragment else 0) | (0x2000 if self.more_fragments else 0)
+        if self.fragment_offset > 0x1FFF:
+            raise ValueError("fragment offset out of range")
+        flags_frag = flags | self.fragment_offset
+        head = struct.pack(
+            "!BBHHHBBHII",
+            version_ihl,
+            self.tos,
+            self.total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src,
+            self.dst,
+        )
+        head += self.options
+        checksum = internet_checksum(head)
+        return head[:10] + struct.pack("!H", checksum) + head[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes, verify: bool = True) -> "IPv4Header":
+        """Parse an IPv4 header from the front of *data*."""
+        if len(data) < IP_HEADER_LEN:
+            raise ValueError("truncated IPv4 header")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            _checksum,
+            src,
+            dst,
+        ) = struct.unpack_from("!BBHHHBBHII", data)
+        version = version_ihl >> 4
+        if version != 4:
+            raise ValueError(f"not an IPv4 packet (version={version})")
+        header_len = (version_ihl & 0x0F) * 4
+        if header_len < IP_HEADER_LEN or len(data) < header_len:
+            raise ValueError("bad IPv4 header length")
+        if verify and not verify_checksum(data[:header_len]):
+            raise ValueError("IPv4 header checksum mismatch")
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            total_length=total_length,
+            identification=identification,
+            dont_fragment=bool(flags_frag & 0x4000),
+            more_fragments=bool(flags_frag & 0x2000),
+            fragment_offset=flags_frag & 0x1FFF,
+            ttl=ttl,
+            tos=tos,
+            options=bytes(data[IP_HEADER_LEN:header_len]),
+        )

@@ -1,0 +1,200 @@
+"""The central :class:`Packet` object passed through the whole library.
+
+A packet holds a parsed IPv4 header, a parsed L4 header, and the L4
+payload bytes.  ``to_bytes``/``from_bytes`` give byte-accurate wire
+round-trips; helpers expose the lengths the cycle model and the MTU
+logic depend on.
+
+Representation notes:
+
+* For TCP and UDP, ``payload`` holds the transport payload and ``l4``
+  the parsed header.
+* For ICMP, the message data lives inside :class:`ICMPMessage` itself
+  and ``payload`` stays empty.
+* For IP fragments with a nonzero offset (and for all fragments after
+  :func:`repro.packet.fragment.fragment_packet`), ``l4`` is ``None``
+  and ``payload`` carries that fragment's slice of the original L4
+  datagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .ethernet import wire_bytes_for_payload
+from .flow import FlowKey
+from .icmp import ICMPMessage
+from .ip import IPProto, IPv4Header
+from .tcp import TCPHeader
+from .udp import UDPHeader
+
+__all__ = ["Packet", "L4Header"]
+
+L4Header = Union[TCPHeader, UDPHeader, ICMPMessage]
+
+
+@dataclass
+class Packet:
+    """One IPv4 packet moving through the simulated network."""
+
+    ip: IPv4Header
+    l4: Optional[L4Header] = None
+    payload: bytes = b""
+    #: Simulation timestamp of creation/last transmission (seconds).
+    timestamp: float = 0.0
+    #: Free-form annotations (e.g. ``{"hairpin": True}``); kept sparse.
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Length accounting
+    # ------------------------------------------------------------------
+    @property
+    def l4_header_len(self) -> int:
+        """Length of the serialized L4 header (0 for bare fragments)."""
+        if self.l4 is None:
+            return 0
+        if isinstance(self.l4, TCPHeader):
+            return self.l4.header_len
+        if isinstance(self.l4, UDPHeader):
+            return 8
+        return 8  # ICMP header
+
+    @property
+    def l4_payload_len(self) -> int:
+        """Bytes of application payload carried."""
+        if isinstance(self.l4, ICMPMessage):
+            return len(self.l4.payload)
+        return len(self.payload)
+
+    @property
+    def total_len(self) -> int:
+        """The IP total length this packet serializes to."""
+        if isinstance(self.l4, ICMPMessage):
+            body = 8 + len(self.l4.payload)
+        else:
+            body = self.l4_header_len + len(self.payload)
+        return self.ip.header_len + body
+
+    @property
+    def wire_len(self) -> int:
+        """Bytes this packet occupies on an Ethernet wire (with framing)."""
+        return wire_bytes_for_payload(self.total_len)
+
+    # ------------------------------------------------------------------
+    # Convenience predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_tcp(self) -> bool:
+        return self.ip.protocol == IPProto.TCP
+
+    @property
+    def is_udp(self) -> bool:
+        return self.ip.protocol == IPProto.UDP
+
+    @property
+    def is_icmp(self) -> bool:
+        return self.ip.protocol == IPProto.ICMP
+
+    @property
+    def is_fragment(self) -> bool:
+        return self.ip.is_fragment
+
+    @property
+    def tcp(self) -> TCPHeader:
+        """The TCP header; raises if this is not a parsed TCP packet."""
+        if not isinstance(self.l4, TCPHeader):
+            raise TypeError("packet has no parsed TCP header")
+        return self.l4
+
+    @property
+    def udp(self) -> UDPHeader:
+        """The UDP header; raises if this is not a parsed UDP packet."""
+        if not isinstance(self.l4, UDPHeader):
+            raise TypeError("packet has no parsed UDP header")
+        return self.l4
+
+    @property
+    def icmp(self) -> ICMPMessage:
+        """The ICMP message; raises if this is not an ICMP packet."""
+        if not isinstance(self.l4, ICMPMessage):
+            raise TypeError("packet has no parsed ICMP message")
+        return self.l4
+
+    def flow_key(self) -> Optional[FlowKey]:
+        """The transport 5-tuple, or None when ports are unavailable."""
+        if isinstance(self.l4, TCPHeader) or isinstance(self.l4, UDPHeader):
+            return FlowKey(
+                self.ip.protocol,
+                self.ip.src,
+                self.l4.src_port,
+                self.ip.dst,
+                self.l4.dst_port,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to wire bytes (IP header onward), with checksums."""
+        if isinstance(self.l4, TCPHeader):
+            body = self.l4.pack(self.payload, self.ip.src, self.ip.dst) + self.payload
+        elif isinstance(self.l4, UDPHeader):
+            body = self.l4.pack(self.payload, self.ip.src, self.ip.dst) + self.payload
+        elif isinstance(self.l4, ICMPMessage):
+            body = self.l4.pack()
+        else:
+            body = self.payload
+        return self.ip.pack(payload_len=len(body)) + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes, verify: bool = True) -> "Packet":
+        """Parse wire bytes into a Packet.
+
+        Fragments with nonzero offset keep their bytes unparsed in
+        ``payload``; first fragments are parsed normally so flow keys
+        remain available to middleboxes.
+        """
+        ip = IPv4Header.unpack(data, verify=verify)
+        body = bytes(data[ip.header_len : ip.total_length])
+        if ip.fragment_offset > 0:
+            return cls(ip=ip, l4=None, payload=body)
+        if ip.protocol == IPProto.TCP and not ip.more_fragments:
+            tcp, hdr_len = TCPHeader.unpack(body)
+            return cls(ip=ip, l4=tcp, payload=body[hdr_len:])
+        if ip.protocol == IPProto.UDP and not ip.more_fragments:
+            udp = UDPHeader.unpack(body)
+            return cls(ip=ip, l4=udp, payload=body[8:])
+        if ip.protocol == IPProto.ICMP and not ip.more_fragments:
+            return cls(ip=ip, l4=ICMPMessage.unpack(body))
+        # First fragment of a fragmented datagram: leave unparsed.
+        return cls(ip=ip, l4=None, payload=body)
+
+    def copy(self) -> "Packet":
+        """Return a structural copy safe to mutate independently."""
+        l4: Optional[L4Header]
+        if isinstance(self.l4, TCPHeader):
+            l4 = self.l4.copy()
+        elif isinstance(self.l4, UDPHeader):
+            l4 = UDPHeader(self.l4.src_port, self.l4.dst_port, self.l4.length, self.l4.checksum)
+        elif isinstance(self.l4, ICMPMessage):
+            l4 = ICMPMessage(self.l4.icmp_type, self.l4.code, self.l4.rest, self.l4.payload)
+        else:
+            l4 = None
+        return Packet(
+            ip=self.ip.copy(),
+            l4=l4,
+            payload=self.payload,
+            timestamp=self.timestamp,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        proto = {IPProto.TCP: "TCP", IPProto.UDP: "UDP", IPProto.ICMP: "ICMP"}.get(
+            self.ip.protocol, str(self.ip.protocol)
+        )
+        frag = ""
+        if self.is_fragment:
+            frag = f" frag(off={self.ip.fragment_offset * 8}, mf={self.ip.more_fragments})"
+        return f"<Packet {proto} len={self.total_len}{frag}>"

@@ -1,0 +1,254 @@
+"""TCP header encode/decode, including the options PXGW rewrites.
+
+PXGW intervenes in the MSS negotiation during the three-way handshake,
+so option parsing/serialization (kind 2 = MSS) is a first-class citizen
+here, alongside window scale, SACK-permitted, and timestamps.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .checksum import internet_checksum, ones_complement_sum, pseudo_header
+from .ip import IPProto
+
+__all__ = ["TCPFlags", "TCPOption", "TCPHeader", "TCP_HEADER_LEN"]
+
+TCP_HEADER_LEN = 20
+
+
+class TCPFlags:
+    """TCP flag bits."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+@dataclass(frozen=True)
+class TCPOption:
+    """A single TCP option as (kind, data) where data excludes kind/len."""
+
+    kind: int
+    data: bytes = b""
+
+    END = 0
+    NOP = 1
+    MSS = 2
+    WINDOW_SCALE = 3
+    SACK_PERMITTED = 4
+    SACK = 5
+    TIMESTAMP = 8
+
+    @classmethod
+    def mss(cls, value: int) -> "TCPOption":
+        """Build an MSS option advertising *value* bytes."""
+        return cls(cls.MSS, struct.pack("!H", value))
+
+    @classmethod
+    def window_scale(cls, shift: int) -> "TCPOption":
+        """Build a window-scale option with the given shift count."""
+        return cls(cls.WINDOW_SCALE, struct.pack("!B", shift))
+
+    @classmethod
+    def sack_permitted(cls) -> "TCPOption":
+        """Build a SACK-permitted option."""
+        return cls(cls.SACK_PERMITTED)
+
+    @classmethod
+    def timestamp(cls, value: int, echo: int) -> "TCPOption":
+        """Build a timestamp option."""
+        return cls(cls.TIMESTAMP, struct.pack("!II", value, echo))
+
+    @property
+    def mss_value(self) -> int:
+        """Decode the MSS value; only valid for MSS options."""
+        if self.kind != self.MSS or len(self.data) != 2:
+            raise ValueError("not an MSS option")
+        return struct.unpack("!H", self.data)[0]
+
+
+def _pack_options(options: "List[TCPOption]") -> bytes:
+    """Serialize options and pad with NOPs to a 32-bit boundary."""
+    out = bytearray()
+    for option in options:
+        if option.kind in (TCPOption.END, TCPOption.NOP):
+            out.append(option.kind)
+        else:
+            out.append(option.kind)
+            out.append(2 + len(option.data))
+            out.extend(option.data)
+    while len(out) % 4:
+        out.append(TCPOption.NOP)
+    if len(out) > 40:
+        raise ValueError("TCP options exceed 40 bytes")
+    return bytes(out)
+
+
+def _unpack_options(data: bytes) -> "List[TCPOption]":
+    """Parse an options blob into a list, stopping at END."""
+    options: List[TCPOption] = []
+    index = 0
+    while index < len(data):
+        kind = data[index]
+        if kind == TCPOption.END:
+            break
+        if kind == TCPOption.NOP:
+            index += 1
+            continue
+        if index + 1 >= len(data):
+            raise ValueError("truncated TCP option")
+        length = data[index + 1]
+        if length < 2 or index + length > len(data):
+            raise ValueError("bad TCP option length")
+        options.append(TCPOption(kind, bytes(data[index + 2 : index + length])))
+        index += length
+    return options
+
+
+@dataclass
+class TCPHeader:
+    """A parsed TCP header with structured options."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    checksum: int = 0
+    urgent: int = 0
+    options: List[TCPOption] = field(default_factory=list)
+
+    @property
+    def header_len(self) -> int:
+        """Header length in bytes including padded options."""
+        opt_len = len(_pack_options(self.options)) if self.options else 0
+        return TCP_HEADER_LEN + opt_len
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & TCPFlags.SYN)
+
+    @property
+    def ack_flag(self) -> bool:
+        return bool(self.flags & TCPFlags.ACK)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & TCPFlags.FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & TCPFlags.RST)
+
+    @property
+    def psh(self) -> bool:
+        return bool(self.flags & TCPFlags.PSH)
+
+    def find_option(self, kind: int) -> Optional[TCPOption]:
+        """Return the first option of *kind*, or None."""
+        for option in self.options:
+            if option.kind == kind:
+                return option
+        return None
+
+    @property
+    def mss_option(self) -> Optional[int]:
+        """The advertised MSS, if an MSS option is present."""
+        option = self.find_option(TCPOption.MSS)
+        return option.mss_value if option else None
+
+    def replace_mss(self, new_mss: int) -> bool:
+        """Rewrite the MSS option in place; returns True if one existed.
+
+        This is the primitive PXGW's MSS-clamping module uses to
+        advertise a larger (or smaller) MSS on behalf of the endpoint
+        behind it.
+        """
+        for index, option in enumerate(self.options):
+            if option.kind == TCPOption.MSS:
+                self.options[index] = TCPOption.mss(new_mss)
+                return True
+        return False
+
+    def copy(self) -> "TCPHeader":
+        """Return a deep-enough copy (options list is copied)."""
+        return TCPHeader(
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            seq=self.seq,
+            ack=self.ack,
+            flags=self.flags,
+            window=self.window,
+            checksum=self.checksum,
+            urgent=self.urgent,
+            options=list(self.options),
+        )
+
+    def pack(self, payload: bytes = b"", src_ip: int = 0, dst_ip: int = 0) -> bytes:
+        """Serialize the header, computing the checksum if IPs given."""
+        opts = _pack_options(self.options)
+        data_offset = (TCP_HEADER_LEN + len(opts)) // 4
+        head = struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            data_offset << 4,
+            self.flags,
+            self.window,
+            0,
+            self.urgent,
+        )
+        head += opts
+        if src_ip or dst_ip:
+            seg_len = len(head) + len(payload)
+            pseudo = pseudo_header(src_ip, dst_ip, IPProto.TCP, seg_len)
+            partial = ones_complement_sum(pseudo)
+            partial = ones_complement_sum(head, partial)
+            self.checksum = internet_checksum(payload, partial)
+        else:
+            self.checksum = 0
+        return head[:16] + struct.pack("!H", self.checksum) + head[18:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Tuple[TCPHeader, int]":
+        """Parse a TCP header; returns (header, header_length_bytes)."""
+        if len(data) < TCP_HEADER_LEN:
+            raise ValueError("truncated TCP header")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_byte,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = struct.unpack_from("!HHIIBBHHH", data)
+        header_len = (offset_byte >> 4) * 4
+        if header_len < TCP_HEADER_LEN or len(data) < header_len:
+            raise ValueError("bad TCP data offset")
+        options = _unpack_options(data[TCP_HEADER_LEN:header_len])
+        header = cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            checksum=checksum,
+            urgent=urgent,
+            options=options,
+        )
+        return header, header_len

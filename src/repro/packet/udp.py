@@ -1,0 +1,63 @@
+"""UDP header encode/decode with pseudo-header checksum."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .checksum import internet_checksum, ones_complement_sum, pseudo_header
+from .ip import IPProto
+
+__all__ = ["UDPHeader", "UDP_HEADER_LEN"]
+
+UDP_HEADER_LEN = 8
+
+
+@dataclass
+class UDPHeader:
+    """A UDP header; ``length`` covers header plus payload."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: int = UDP_HEADER_LEN
+    checksum: int = 0
+
+    def pack(self, payload: bytes = b"", src_ip: int = 0, dst_ip: int = 0) -> bytes:
+        """Serialize header (and compute checksum when IPs are given).
+
+        Per RFC 768 a computed checksum of zero is transmitted as
+        ``0xFFFF``; zero on the wire means "no checksum".
+        """
+        self.length = UDP_HEADER_LEN + len(payload)
+        head = struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+        if src_ip or dst_ip:
+            pseudo = pseudo_header(src_ip, dst_ip, IPProto.UDP, self.length)
+            partial = ones_complement_sum(pseudo)
+            partial = ones_complement_sum(head, partial)
+            checksum = internet_checksum(payload, partial)
+            if checksum == 0:
+                checksum = 0xFFFF
+            self.checksum = checksum
+        else:
+            self.checksum = 0
+        return head[:6] + struct.pack("!H", self.checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        """Parse a UDP header from the front of *data*."""
+        if len(data) < UDP_HEADER_LEN:
+            raise ValueError("truncated UDP header")
+        src_port, dst_port, length, checksum = struct.unpack_from("!HHHH", data)
+        if length < UDP_HEADER_LEN:
+            raise ValueError("bad UDP length")
+        return cls(src_port=src_port, dst_port=dst_port, length=length, checksum=checksum)
+
+    def verify(self, payload: bytes, src_ip: int, dst_ip: int) -> bool:
+        """Return True if the stored checksum matches the given payload."""
+        if self.checksum == 0:  # checksum disabled by sender
+            return True
+        pseudo = pseudo_header(src_ip, dst_ip, IPProto.UDP, self.length)
+        head = struct.pack("!HHHH", self.src_port, self.dst_port, self.length, self.checksum)
+        partial = ones_complement_sum(pseudo)
+        partial = ones_complement_sum(head, partial)
+        return ones_complement_sum(payload, partial) == 0xFFFF

@@ -1,0 +1,25 @@
+"""Path MTU discovery: F-PMTUD and its baselines, plus the §5.3 survey."""
+
+from .classical import ClassicalPmtud, ClassicalResult, PLATEAU_TABLE
+from .echo import ECHO_PORT, ProbeEchoDaemon
+from .fpmtud import FPMTUD_PORT, FPmtudDaemon, FPmtudProber, FPmtudResult
+from .plpmtud import Plpmtud, PlpmtudResult
+from .survey import FragmentSurvey, SurveyRates, SurveyResult, probe_path_with_fragments
+
+__all__ = [
+    "FPmtudProber",
+    "FPmtudDaemon",
+    "FPmtudResult",
+    "FPMTUD_PORT",
+    "ClassicalPmtud",
+    "ClassicalResult",
+    "PLATEAU_TABLE",
+    "Plpmtud",
+    "PlpmtudResult",
+    "ProbeEchoDaemon",
+    "ECHO_PORT",
+    "FragmentSurvey",
+    "SurveyRates",
+    "SurveyResult",
+    "probe_path_with_fragments",
+]

@@ -1,0 +1,143 @@
+"""Classical path MTU discovery (RFC 1191): DF probes + ICMP feedback.
+
+The sender probes with DF set at its local MTU; routers that cannot
+forward reply with ICMP 'fragmentation needed' carrying the next-hop
+MTU, and the sender retries at that size.  The method's Achilles heel
+is its total dependence on ICMP delivery: behind a blackhole router,
+oversized probes vanish silently and discovery stalls until timeout —
+the failure mode measured at ~49 % of Internet paths by 2018.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..net.host import Host
+from ..packet import ICMPMessage, IPv4Header, Packet
+from .echo import ECHO_PORT, pack_echo_probe, parse_echo_ack
+
+__all__ = ["ClassicalPmtud", "ClassicalResult", "PLATEAU_TABLE"]
+
+#: RFC 1191 §7.1 plateau table, used when the ICMP message carries no
+#: next-hop MTU (old routers set it to zero).
+PLATEAU_TABLE = [65535, 32000, 17914, 9000, 8166, 4352, 2002, 1492, 1006, 576, 296, 68]
+
+
+@dataclass
+class ClassicalResult:
+    """Outcome of a classical PMTUD run."""
+
+    pmtu: Optional[int]  # None when discovery failed (blackhole)
+    elapsed: float
+    probes_sent: int
+    icmp_received: int
+    blackholed: bool
+
+
+class ClassicalPmtud:
+    """One RFC 1191 discovery toward a destination running an echo daemon."""
+
+    def __init__(
+        self,
+        host: Host,
+        src_port: int = 53000,
+        probe_timeout: float = 2.0,
+        max_retries: int = 3,
+    ):
+        self.host = host
+        self.src_port = src_port
+        self.probe_timeout = probe_timeout
+        self.max_retries = max_retries
+        self._active: Optional[dict] = None
+        self._probe_counter = 0
+        host.on_udp(src_port, self._on_ack)
+        host.on_icmp(self._on_icmp)
+
+    def discover(
+        self,
+        dst: int,
+        initial_mtu: int,
+        on_done: Callable[[ClassicalResult], None],
+    ) -> None:
+        """Start discovery toward *dst* from *initial_mtu*."""
+        if self._active is not None:
+            raise RuntimeError("discovery already in progress")
+        self._active = {
+            "dst": dst,
+            "estimate": initial_mtu,
+            "on_done": on_done,
+            "started_at": self.host.sim.now,
+            "probes": 0,
+            "icmp": 0,
+            "retries": 0,
+            "timer": None,
+        }
+        self._send_probe()
+
+    # ------------------------------------------------------------------
+    def _send_probe(self) -> None:
+        state = self._active
+        self._probe_counter += 1
+        state["probe_id"] = self._probe_counter
+        state["probes"] += 1
+        payload = pack_echo_probe(self._probe_counter, state["estimate"])
+        self.host.send_udp(state["dst"], self.src_port, ECHO_PORT, payload,
+                           dont_fragment=True)
+        if state["timer"] is not None:
+            state["timer"].cancel()
+        state["timer"] = self.host.sim.schedule(self.probe_timeout, self._on_timeout)
+
+    def _on_ack(self, packet: Packet, host: Host) -> None:
+        state = self._active
+        if state is None:
+            return
+        if parse_echo_ack(packet.payload) != state["probe_id"]:
+            return
+        state["timer"].cancel()
+        self._finish(pmtu=state["estimate"], blackholed=False)
+
+    def _on_icmp(self, packet: Packet, message: ICMPMessage) -> None:
+        state = self._active
+        if state is None or not message.is_frag_needed:
+            return
+        try:
+            inner = IPv4Header.unpack(message.payload, verify=False)
+        except ValueError:
+            return
+        if inner.dst != state["dst"]:
+            return
+        state["icmp"] += 1
+        hinted = message.next_hop_mtu
+        if hinted and hinted < state["estimate"]:
+            state["estimate"] = hinted
+        else:
+            # No hint: drop to the next RFC 1191 plateau.
+            state["estimate"] = next(
+                (p for p in PLATEAU_TABLE if p < state["estimate"]), 68
+            )
+        state["retries"] = 0
+        self._send_probe()
+
+    def _on_timeout(self) -> None:
+        state = self._active
+        if state is None:
+            return
+        state["retries"] += 1
+        if state["retries"] >= self.max_retries:
+            # Silence: no ICMP, no ack — the blackhole case.
+            self._finish(pmtu=None, blackholed=True)
+            return
+        self._send_probe()
+
+    def _finish(self, pmtu: Optional[int], blackholed: bool) -> None:
+        state = self._active
+        self._active = None
+        result = ClassicalResult(
+            pmtu=pmtu,
+            elapsed=self.host.sim.now - state["started_at"],
+            probes_sent=state["probes"],
+            icmp_received=state["icmp"],
+            blackholed=blackholed,
+        )
+        state["on_done"](result)

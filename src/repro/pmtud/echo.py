@@ -1,0 +1,55 @@
+"""A small UDP echo responder used by the baseline PMTUD methods.
+
+Classical PMTUD and PLPMTUD both need positive confirmation that a
+probe of a given size reached the destination; this daemon echoes a
+short acknowledgment carrying the probe id (the packetization-layer
+ACK role in RFC 4821 terms).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..net.host import Host
+from ..packet import Packet
+
+__all__ = ["ProbeEchoDaemon", "ECHO_PORT", "pack_echo_probe", "parse_echo_ack"]
+
+ECHO_PORT = 7838
+_ACK_MAGIC = b"PEAK"
+_PROBE_MAGIC = b"PEPR"
+
+
+def pack_echo_probe(probe_id: int, size: int) -> bytes:
+    """A padded probe payload for an IP packet of exactly *size* bytes."""
+    payload_len = size - 28
+    head = _PROBE_MAGIC + struct.pack("!I", probe_id)
+    if payload_len < len(head):
+        raise ValueError(f"probe size {size} too small")
+    return head + bytes(payload_len - len(head))
+
+
+def parse_echo_ack(payload: bytes) -> Optional[int]:
+    """The probe id inside an ack, or None."""
+    if len(payload) < 8 or payload[:4] != _ACK_MAGIC:
+        return None
+    return struct.unpack_from("!I", payload, 4)[0]
+
+
+class ProbeEchoDaemon:
+    """Acknowledges echo probes with a minimal UDP reply."""
+
+    def __init__(self, host: Host, port: int = ECHO_PORT):
+        self.host = host
+        self.port = port
+        self.acks_sent = 0
+        host.on_udp(port, self._on_probe)
+
+    def _on_probe(self, packet: Packet, host: Host) -> None:
+        if len(packet.payload) < 8 or packet.payload[:4] != _PROBE_MAGIC:
+            return
+        probe_id = struct.unpack_from("!I", packet.payload, 4)[0]
+        ack = _ACK_MAGIC + struct.pack("!I", probe_id)
+        host.send_udp(packet.ip.src, self.port, packet.udp.src_port, ack)
+        self.acks_sent += 1

@@ -1,0 +1,170 @@
+"""F-PMTUD: single-round-trip, ICMP-free path MTU discovery (§4.2).
+
+The prober sends one dummy UDP probe sized to the next hop's eMTU with
+DF *clear* toward a well-known port on the destination.  Routers along
+the path fragment it wherever a link's MTU is smaller; the daemon on
+the destination observes the sizes of the fragments that arrive (its
+host stack reassembles them anyway) and reports them back in a single
+UDP message.  The prober concludes:
+
+* probe arrived whole → PMTU = probe size;
+* probe was fragmented → PMTU = size of the largest fragment.
+
+Because fragment payloads are 8-byte aligned, the reported value can
+sit up to 7 bytes below the true bottleneck MTU (a 1000 B hop yields
+996 B fragments); the reported value is always *usable*, which is what
+an endpoint needs.  Total discovery cost: one RTT, no ICMP anywhere.
+
+PXGWs forward probes (and fragments in general) without caravan
+merging; see :class:`repro.core.PXGateway`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.gateway import FPMTUD_PORT
+from ..net.host import Host
+from ..packet import Packet
+
+__all__ = ["FPmtudDaemon", "FPmtudProber", "FPmtudResult", "FPMTUD_PORT"]
+
+_PROBE_MAGIC = b"FPMP"
+_REPORT_MAGIC = b"FPMR"
+
+
+def _pack_probe(probe_id: int, size: int) -> bytes:
+    """A probe payload of exactly *size* - 28 bytes (IP+UDP headers)."""
+    payload_len = size - 28
+    head = _PROBE_MAGIC + struct.pack("!I", probe_id)
+    if payload_len < len(head):
+        raise ValueError(f"probe size {size} too small")
+    return head + bytes(payload_len - len(head))
+
+
+def _parse_probe(payload: bytes) -> Optional[int]:
+    if len(payload) < 8 or payload[:4] != _PROBE_MAGIC:
+        return None
+    return struct.unpack_from("!I", payload, 4)[0]
+
+
+def _pack_report(probe_id: int, sizes: List[int]) -> bytes:
+    return (
+        _REPORT_MAGIC
+        + struct.pack("!IH", probe_id, len(sizes))
+        + b"".join(struct.pack("!H", size) for size in sizes)
+    )
+
+
+def _parse_report(payload: bytes) -> "Optional[tuple[int, List[int]]]":
+    if len(payload) < 10 or payload[:4] != _REPORT_MAGIC:
+        return None
+    probe_id, count = struct.unpack_from("!IH", payload, 4)
+    sizes = [
+        struct.unpack_from("!H", payload, 10 + 2 * index)[0] for index in range(count)
+    ]
+    return probe_id, sizes
+
+
+@dataclass
+class FPmtudResult:
+    """Outcome of one F-PMTUD discovery."""
+
+    pmtu: int
+    elapsed: float
+    fragment_sizes: List[int]
+    probe_size: int
+
+    @property
+    def was_fragmented(self) -> bool:
+        return len(self.fragment_sizes) > 1
+
+
+class FPmtudDaemon:
+    """The destination-side agent: reports received fragment sizes."""
+
+    def __init__(self, host: Host, port: int = FPMTUD_PORT):
+        self.host = host
+        self.port = port
+        self.reports_sent = 0
+        host.on_udp(port, self._on_probe)
+
+    def _on_probe(self, packet: Packet, host: Host) -> None:
+        probe_id = _parse_probe(packet.payload)
+        if probe_id is None:
+            return
+        # The host's reassembler recorded how the probe arrived; an
+        # unfragmented probe registers as a single "fragment".
+        sizes = list(host.reassembler.last_fragment_sizes)
+        report = _pack_report(probe_id, sizes)
+        host.send_udp(packet.ip.src, self.port, packet.udp.src_port, report)
+        self.reports_sent += 1
+
+
+class FPmtudProber:
+    """The sender-side agent: one probe, one report, one RTT."""
+
+    def __init__(self, host: Host, src_port: int = 52000, daemon_port: int = FPMTUD_PORT):
+        self.host = host
+        self.src_port = src_port
+        self.daemon_port = daemon_port
+        self._pending: Dict[int, dict] = {}
+        self._next_id = 1
+        host.on_udp(src_port, self._on_report)
+
+    def probe(
+        self,
+        dst: int,
+        probe_size: int,
+        on_result: Callable[[FPmtudResult], None],
+        timeout: float = 5.0,
+        on_timeout: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Send one probe of *probe_size* (the next hop's eMTU) to *dst*.
+
+        *on_result* fires when the daemon's report arrives (normally
+        after a single RTT).  Returns the probe id.
+        """
+        probe_id = self._next_id
+        self._next_id += 1
+        payload = _pack_probe(probe_id, probe_size)
+        sent_at = self.host.sim.now
+        handle = self.host.sim.schedule(timeout, self._on_probe_timeout, probe_id)
+        self._pending[probe_id] = {
+            "sent_at": sent_at,
+            "probe_size": probe_size,
+            "on_result": on_result,
+            "on_timeout": on_timeout,
+            "timer": handle,
+        }
+        # DF clear: routers are *expected* to fragment the probe.
+        self.host.send_udp(dst, self.src_port, self.daemon_port, payload,
+                           dont_fragment=False)
+        return probe_id
+
+    def _on_report(self, packet: Packet, host: Host) -> None:
+        parsed = _parse_report(packet.payload)
+        if parsed is None:
+            return
+        probe_id, sizes = parsed
+        pending = self._pending.pop(probe_id, None)
+        if pending is None:
+            return
+        pending["timer"].cancel()
+        pmtu = max(sizes) if sizes else pending["probe_size"]
+        result = FPmtudResult(
+            pmtu=pmtu,
+            elapsed=self.host.sim.now - pending["sent_at"],
+            fragment_sizes=sizes,
+            probe_size=pending["probe_size"],
+        )
+        pending["on_result"](result)
+
+    def _on_probe_timeout(self, probe_id: int) -> None:
+        pending = self._pending.pop(probe_id, None)
+        if pending is None:
+            return
+        if pending["on_timeout"]:
+            pending["on_timeout"]()

@@ -1,0 +1,147 @@
+"""Packetization-layer PMTUD (RFC 4821), Scamper-style.
+
+PLPMTUD avoids ICMP by probing with DF data packets and treating the
+*absence of acknowledgment* as evidence the probe exceeded the PMTU.
+That inference is inherently slow: every size that fails costs the full
+probe timeout (times the retry count, since a single loss might be
+congestion), and the binary search needs several sizes to converge.
+This is the multi-RTT behaviour F-PMTUD's one-round-trip design is
+measured against in §5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..net.host import Host
+from ..packet import Packet
+from .echo import ECHO_PORT, pack_echo_probe, parse_echo_ack
+
+__all__ = ["Plpmtud", "PlpmtudResult"]
+
+#: RFC 4821 recommends starting from a size assumed safe everywhere.
+BASE_PMTU = 1280
+MIN_PMTU = 576
+
+
+@dataclass
+class PlpmtudResult:
+    """Outcome of a PLPMTUD search."""
+
+    pmtu: int
+    elapsed: float
+    probes_sent: int
+    timeouts: int
+    sizes_probed: List[int]
+
+
+class Plpmtud:
+    """Binary-search PLPMTUD toward an echo daemon."""
+
+    def __init__(
+        self,
+        host: Host,
+        src_port: int = 54000,
+        probe_timeout: float = 2.0,
+        max_retries: int = 2,
+        granularity: int = 8,
+    ):
+        self.host = host
+        self.src_port = src_port
+        self.probe_timeout = probe_timeout
+        self.max_retries = max_retries
+        self.granularity = granularity
+        self._active: Optional[dict] = None
+        self._probe_counter = 0
+        host.on_udp(src_port, self._on_ack)
+
+    def discover(
+        self,
+        dst: int,
+        local_mtu: int,
+        on_done: Callable[[PlpmtudResult], None],
+    ) -> None:
+        """Search for the PMTU toward *dst*, bounded by *local_mtu*."""
+        if self._active is not None:
+            raise RuntimeError("discovery already in progress")
+        self._active = {
+            "dst": dst,
+            "low": MIN_PMTU,
+            "high": local_mtu,
+            "candidate": min(BASE_PMTU, local_mtu),
+            "on_done": on_done,
+            "started_at": self.host.sim.now,
+            "probes": 0,
+            "timeouts": 0,
+            "retries": 0,
+            "sizes": [],
+            "timer": None,
+        }
+        self._probe_current()
+
+    # ------------------------------------------------------------------
+    def _probe_current(self) -> None:
+        state = self._active
+        size = state["candidate"]
+        self._probe_counter += 1
+        state["probe_id"] = self._probe_counter
+        state["probes"] += 1
+        if not state["sizes"] or state["sizes"][-1] != size:
+            state["sizes"].append(size)
+        payload = pack_echo_probe(self._probe_counter, size)
+        self.host.send_udp(state["dst"], self.src_port, ECHO_PORT, payload,
+                           dont_fragment=True)
+        if state["timer"] is not None:
+            state["timer"].cancel()
+        state["timer"] = self.host.sim.schedule(self.probe_timeout, self._on_timeout)
+
+    def _on_ack(self, packet: Packet, host: Host) -> None:
+        state = self._active
+        if state is None or parse_echo_ack(packet.payload) != state["probe_id"]:
+            return
+        state["timer"].cancel()
+        state["retries"] = 0
+        state["low"] = state["candidate"]
+        self._advance()
+
+    def _on_timeout(self) -> None:
+        state = self._active
+        if state is None:
+            return
+        state["retries"] += 1
+        if state["retries"] < self.max_retries:
+            # Could be congestion loss: retry the same size first.
+            self._probe_current()
+            return
+        state["timeouts"] += 1
+        state["retries"] = 0
+        state["high"] = state["candidate"] - 1
+        self._advance()
+
+    def _advance(self) -> None:
+        state = self._active
+        if state["high"] - state["low"] < self.granularity:
+            self._finish()
+            return
+        if state["candidate"] == state["low"] and state["candidate"] < state["high"]:
+            # Last probe succeeded: try the upper bound directly first
+            # (common case: the whole path supports the local MTU).
+            if state["low"] == min(BASE_PMTU, state["high"]) and state["probes"] <= self.max_retries:
+                state["candidate"] = state["high"]
+                self._probe_current()
+                return
+        state["candidate"] = (state["low"] + state["high"] + 1) // 2
+        self._probe_current()
+
+    def _finish(self) -> None:
+        state = self._active
+        self._active = None
+        result = PlpmtudResult(
+            pmtu=state["low"],
+            elapsed=self.host.sim.now - state["started_at"],
+            probes_sent=state["probes"],
+            timeouts=state["timeouts"],
+            sizes_probed=state["sizes"],
+        )
+        state["on_done"](result)

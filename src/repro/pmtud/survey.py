@@ -1,0 +1,123 @@
+"""The §5.3 Internet fragment-delivery survey, reproduced synthetically.
+
+The paper probed 389,428 live servers (top-1M Cloudflare Radar domains)
+with IP-fragmented HTTP requests: 99.98 % answered; of the 59 failures,
+15 paths showed last-hop AS fragment filtering and the rest simply never
+responded.  ICMP-based PMTUD, for comparison, succeeded on only ~51 %
+of paths as of the 2018 TMA study.
+
+We cannot reach the Internet, so the population is synthesized with
+exactly those per-path pathology rates, and the *mechanism* of each
+outcome (a filtering router actually dropping fragments, a blackhole
+router actually suppressing ICMP) is validated packet-by-packet on
+sampled topologies built from the real Router/Host code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..net.topology import Topology
+from ..packet import build_udp, fragment_packet
+
+__all__ = ["SurveyRates", "SurveyResult", "FragmentSurvey", "probe_path_with_fragments"]
+
+
+@dataclass(frozen=True)
+class SurveyRates:
+    """Per-path pathology probabilities.
+
+    Defaults reproduce the paper's measured population: 15 fragment-
+    filtering last hops and 44 otherwise-unresponsive paths out of
+    389,428; and the ~49 % ICMP blackhole rate from Custura et al. 2018
+    for the classical-PMTUD comparison.
+    """
+
+    fragment_filter: float = 15 / 389_428
+    unresponsive_to_fragments: float = 44 / 389_428
+    icmp_blackhole: float = 0.49
+
+    PAPER_POPULATION: int = 389_428
+
+
+@dataclass
+class SurveyResult:
+    """Aggregate outcome over a server population."""
+
+    population: int
+    fragmented_ok: int
+    filtered_last_hop: int
+    unresponsive: int
+    icmp_pmtud_ok: int
+
+    @property
+    def fragment_success_rate(self) -> float:
+        return self.fragmented_ok / self.population if self.population else 0.0
+
+    @property
+    def icmp_success_rate(self) -> float:
+        return self.icmp_pmtud_ok / self.population if self.population else 0.0
+
+
+class FragmentSurvey:
+    """Draws a synthetic server population and tallies outcomes."""
+
+    def __init__(self, rates: SurveyRates = SurveyRates(), seed: int = 42):
+        self.rates = rates
+        self.rng = random.Random(seed)
+
+    def run(self, population: int = SurveyRates.PAPER_POPULATION) -> SurveyResult:
+        """Survey *population* servers; per-server outcome is Bernoulli."""
+        filtered = 0
+        unresponsive = 0
+        icmp_ok = 0
+        for _ in range(population):
+            roll = self.rng.random()
+            if roll < self.rates.fragment_filter:
+                filtered += 1
+            elif roll < self.rates.fragment_filter + self.rates.unresponsive_to_fragments:
+                unresponsive += 1
+            if self.rng.random() >= self.rates.icmp_blackhole:
+                icmp_ok += 1
+        return SurveyResult(
+            population=population,
+            fragmented_ok=population - filtered - unresponsive,
+            filtered_last_hop=filtered,
+            unresponsive=unresponsive,
+            icmp_pmtud_ok=icmp_ok,
+        )
+
+
+def probe_path_with_fragments(filtering_last_hop: bool) -> bool:
+    """Packet-level validation of one surveyed path.
+
+    Builds client → core router → last-hop router → server with the
+    real simulator, sends a pre-fragmented request, and returns whether
+    the server's (reassembled) response came back — demonstrating the
+    mechanism behind each survey tally.
+    """
+    topo = Topology()
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    core = topo.add_router("core")
+    last_hop = topo.add_router("last-hop", filter_fragments=filtering_last_hop)
+    topo.link(client, core, mtu=1500)
+    topo.link(core, last_hop, mtu=1500)
+    topo.link(last_hop, server, mtu=1500)
+    topo.build_routes()
+
+    responded = []
+
+    def on_request(packet, host):
+        host.send_udp(packet.ip.src, 80, packet.udp.src_port, b"HTTP/1.1 200 OK")
+
+    server.on_udp(80, on_request)
+    client.on_udp(55555, lambda packet, host: responded.append(packet))
+
+    request = build_udp(client.ip, server.ip, 55555, 80,
+                        payload=b"GET / HTTP/1.1\r\nHost: example\r\n\r\n" + b"\0" * 2500)
+    for fragment in fragment_packet(request, 1500):
+        client.send(fragment)
+    topo.run(until=1.0)
+    return bool(responded)

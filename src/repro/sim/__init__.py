@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate: engine, links, netem, tracing."""
+
+from .engine import EventHandle, Simulator
+from .link import Link, LinkStats, connect
+from .netem import GilbertElliott, Netem
+from .node import Interface, Node
+from .trace import PacketTrace, TraceEntry
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Link",
+    "LinkStats",
+    "connect",
+    "Netem",
+    "GilbertElliott",
+    "Interface",
+    "Node",
+    "PacketTrace",
+    "TraceEntry",
+]

@@ -1,0 +1,150 @@
+"""Point-to-point links with bandwidth, propagation delay, queueing, and MTU.
+
+A :class:`Link` is unidirectional; :func:`connect` wires two interfaces
+with a link in each direction.  The transmission model is the standard
+store-and-forward pipeline: packets serialize one at a time at line
+rate (including Ethernet framing overhead), wait in a byte-bounded FIFO
+when the line is busy, then propagate.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..packet import Packet
+from .engine import Simulator
+from .netem import Netem
+from .node import Interface
+
+__all__ = ["Link", "connect", "LinkStats"]
+
+#: Default queue capacity in bytes (≈ 256 full-size 9 KB packets).
+DEFAULT_QUEUE_BYTES = 2_304_000
+
+
+class LinkStats:
+    """Counters a link keeps for analysis."""
+
+    def __init__(self):
+        self.transmitted = 0
+        self.delivered = 0
+        self.dropped_queue = 0
+        self.dropped_loss = 0
+        self.dropped_mtu = 0
+        self.bytes_delivered = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<LinkStats tx={self.transmitted} rx={self.delivered} "
+            f"qdrop={self.dropped_queue} loss={self.dropped_loss} mtu={self.dropped_mtu}>"
+        )
+
+
+class Link:
+    """A unidirectional channel between two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Interface,
+        dst: Interface,
+        bandwidth_bps: float = 10e9,
+        delay: float = 1e-6,
+        mtu: int = 1500,
+        queue_bytes: int = DEFAULT_QUEUE_BYTES,
+        netem: Optional[Netem] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay = delay
+        self.mtu = mtu
+        self.queue_bytes = queue_bytes
+        self.netem = netem
+        self.rng = rng or random.Random(0)
+        self.stats = LinkStats()
+        self._queue: Deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+
+    def transmit(self, packet: Packet) -> bool:
+        """Enqueue *packet* for transmission; False if dropped.
+
+        Packets larger than the link MTU are dropped here — a link
+        cannot carry them; it is the upstream node's job to fragment or
+        refuse.  This is exactly the silent-drop behaviour that breaks
+        classical PMTUD behind ICMP blackholes.
+        """
+        if packet.total_len > self.mtu:
+            self.stats.dropped_mtu += 1
+            return False
+        if self._queued_bytes + packet.total_len > self.queue_bytes:
+            self.stats.dropped_queue += 1
+            return False
+        self._queue.append(packet)
+        self._queued_bytes += packet.total_len
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        self._queued_bytes -= packet.total_len
+        serialization = packet.wire_len * 8 / self.bandwidth_bps
+        self.sim.schedule(serialization, self._serialized, packet)
+
+    def _serialized(self, packet: Packet) -> None:
+        self.stats.transmitted += 1
+        extra_delay = 0.0
+        drop = False
+        if self.netem is not None:
+            drop, extra_delay = self.netem.impair(self.rng)
+        if drop:
+            self.stats.dropped_loss += 1
+        else:
+            self.sim.schedule(self.delay + extra_delay, self._deliver, packet)
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += packet.total_len
+        packet.timestamp = self.sim.now
+        self.dst.deliver(packet)
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets currently waiting (excluding the one on the wire)."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Link {self.src.name}->{self.dst.name} "
+            f"{self.bandwidth_bps / 1e9:.0f}Gbps mtu={self.mtu}>"
+        )
+
+
+def connect(
+    sim: Simulator,
+    a: Interface,
+    b: Interface,
+    bandwidth_bps: float = 10e9,
+    delay: float = 1e-6,
+    mtu: int = 1500,
+    queue_bytes: int = DEFAULT_QUEUE_BYTES,
+    netem: Optional[Netem] = None,
+    rng: Optional[random.Random] = None,
+) -> "Tuple[Link, Link]":
+    """Create a bidirectional connection (two links) between interfaces."""
+    forward = Link(sim, a, b, bandwidth_bps, delay, mtu, queue_bytes, netem, rng)
+    backward = Link(sim, b, a, bandwidth_bps, delay, mtu, queue_bytes, netem, rng)
+    a.link = forward
+    b.link = backward
+    return forward, backward

@@ -1,0 +1,67 @@
+"""Lightweight packet tracing for debugging and assertions in tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..packet import Packet
+
+__all__ = ["TraceEntry", "PacketTrace"]
+
+
+@dataclass
+class TraceEntry:
+    """One observation: a packet seen at a point in the network."""
+
+    time: float
+    point: str
+    event: str  # "tx", "rx", "drop", ...
+    length: int
+    summary: str
+
+
+class PacketTrace:
+    """An append-only log of packet observations.
+
+    Nodes call :meth:`record`; tests filter with :meth:`matching`.
+    Disabled traces are near-free so instrumentation can stay in place.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.entries: List[TraceEntry] = []
+
+    def record(self, time: float, point: str, event: str, packet: Packet) -> None:
+        """Log one observation (no-op when disabled or full)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.entries) >= self.capacity:
+            return
+        self.entries.append(
+            TraceEntry(
+                time=time,
+                point=point,
+                event=event,
+                length=packet.total_len,
+                summary=repr(packet),
+            )
+        )
+
+    def matching(self, predicate: Callable[[TraceEntry], bool]) -> List[TraceEntry]:
+        """All entries satisfying *predicate*."""
+        return [entry for entry in self.entries if predicate(entry)]
+
+    def count(self, event: Optional[str] = None, point: Optional[str] = None) -> int:
+        """Count entries filtered by event and/or point."""
+        return sum(
+            1
+            for entry in self.entries
+            if (event is None or entry.event == event)
+            and (point is None or entry.point == point)
+        )
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.entries.clear()

@@ -1,0 +1,23 @@
+"""Event-driven TCP stack plus closed-form throughput models."""
+
+from .congestion import CongestionControl, Cubic, Reno
+from .connection import TCPConnection, TCPListener, TCPState
+from .model import (
+    congestion_avoidance_ramp_bps,
+    mathis_throughput_bps,
+    padhye_throughput_bps,
+    slow_start_rtts_to_rate,
+)
+
+__all__ = [
+    "TCPConnection",
+    "TCPListener",
+    "TCPState",
+    "CongestionControl",
+    "Reno",
+    "Cubic",
+    "mathis_throughput_bps",
+    "padhye_throughput_bps",
+    "slow_start_rtts_to_rate",
+    "congestion_avoidance_ramp_bps",
+]

@@ -1,0 +1,19 @@
+"""5G UPF substrate (OMEC-style PDR/FAR/QER pipeline over GTP-U)."""
+
+from .pipeline import Upf, UpfStats
+from .policing import TokenBucket
+from .rules import FAR, PDR, QER, Direction, FarAction
+from .session import Session, SessionManager
+
+__all__ = [
+    "Upf",
+    "UpfStats",
+    "TokenBucket",
+    "PDR",
+    "FAR",
+    "QER",
+    "Direction",
+    "FarAction",
+    "Session",
+    "SessionManager",
+]

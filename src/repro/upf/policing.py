@@ -1,0 +1,44 @@
+"""Rate policing for QER enforcement: a classic token bucket.
+
+PFCP QERs carry an MBR (maximum bit rate); the UPF polices each
+session's traffic against it.  The bucket refills continuously at the
+MBR and absorbs bursts up to its depth.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A byte-denominated token bucket."""
+
+    def __init__(self, rate_bps: float, burst_bytes: float = 65536.0):
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self.rate_bytes_per_sec = rate_bps / 8.0
+        self.burst_bytes = burst_bytes
+        self.tokens = burst_bytes
+        self._last_refill = 0.0
+        self.allowed = 0
+        self.denied = 0
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self.tokens = min(
+                self.burst_bytes, self.tokens + elapsed * self.rate_bytes_per_sec
+            )
+            self._last_refill = now
+
+    def allow(self, nbytes: int, now: float) -> bool:
+        """Charge *nbytes* at time *now*; False when over rate."""
+        self._refill(now)
+        if self.tokens >= nbytes:
+            self.tokens -= nbytes
+            self.allowed += 1
+            return True
+        self.denied += 1
+        return False

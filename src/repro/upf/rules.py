@@ -1,0 +1,76 @@
+"""UPF rule structures: PDR, FAR, QER (3GPP TS 29.244 subset).
+
+The OMEC UPF datapath applies, per packet: packet detection (PDR
+match), QoS enforcement (QER), and a forwarding action (FAR) which may
+remove or create a GTP-U outer header.  Everything here is header-only
+work — the property that makes UPF throughput packet-rate-bound and
+Figure 1a's MTU scaling nearly linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Direction", "PDR", "FAR", "QER", "FarAction"]
+
+
+class Direction:
+    """Traffic direction through the UPF."""
+
+    UPLINK = "uplink"  # UE -> data network (GTP-U encapsulated on ingress)
+    DOWNLINK = "downlink"  # data network -> UE (plain IP on ingress)
+
+
+class FarAction:
+    """What a FAR does with a matched packet."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+    BUFFER = "buffer"
+
+
+@dataclass(frozen=True)
+class FAR:
+    """Forwarding Action Rule."""
+
+    far_id: int
+    action: str = FarAction.FORWARD
+    #: Create a GTP-U outer header toward this TEID/peer (downlink).
+    encap_teid: Optional[int] = None
+    encap_peer_ip: Optional[int] = None
+    #: Remove the GTP-U outer header (uplink).
+    decap: bool = False
+
+
+@dataclass(frozen=True)
+class QER(object):
+    """QoS Enforcement Rule: a gate plus an MBR cap (bits/second)."""
+
+    qer_id: int
+    gate_open: bool = True
+    mbr_bps: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PDR:
+    """Packet Detection Rule.
+
+    Uplink PDRs match the local F-TEID of the GTP-U tunnel; downlink
+    PDRs match the UE's IP as destination.  ``precedence`` breaks ties
+    (lower wins), as in PFCP.
+    """
+
+    pdr_id: int
+    direction: str
+    far_id: int
+    qer_id: Optional[int] = None
+    precedence: int = 100
+    match_teid: Optional[int] = None
+    match_ue_ip: Optional[int] = None
+
+    def __post_init__(self):
+        if self.direction == Direction.UPLINK and self.match_teid is None:
+            raise ValueError("uplink PDR needs match_teid")
+        if self.direction == Direction.DOWNLINK and self.match_ue_ip is None:
+            raise ValueError("downlink PDR needs match_ue_ip")

@@ -1,0 +1,94 @@
+"""PFCP-style session management for the UPF."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .rules import FAR, PDR, QER, Direction, FarAction
+
+__all__ = ["Session", "SessionManager"]
+
+
+@dataclass
+class Session:
+    """One UE's PFCP session: its rules and identifiers."""
+
+    seid: int
+    ue_ip: int
+    uplink_teid: int
+    gnb_teid: int
+    gnb_ip: int
+    pdrs: List[PDR] = field(default_factory=list)
+    fars: Dict[int, FAR] = field(default_factory=dict)
+    qers: Dict[int, QER] = field(default_factory=dict)
+
+
+class SessionManager:
+    """Installs sessions and maintains the UPF's fast-path lookup tables."""
+
+    def __init__(self):
+        self.sessions: Dict[int, Session] = {}
+        #: Fast-path tables the datapath consults per packet.
+        self.uplink_by_teid: Dict[int, "tuple[Session, PDR]"] = {}
+        self.downlink_by_ue_ip: Dict[int, "tuple[Session, PDR]"] = {}
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def create_session(
+        self,
+        seid: int,
+        ue_ip: int,
+        uplink_teid: int,
+        gnb_teid: int,
+        gnb_ip: int,
+        mbr_bps: Optional[float] = None,
+    ) -> Session:
+        """Install a standard bidirectional session (2 PDRs, 2 FARs, 1 QER)."""
+        if seid in self.sessions:
+            raise ValueError(f"duplicate SEID {seid}")
+        if uplink_teid in self.uplink_by_teid:
+            raise ValueError(f"TEID {uplink_teid} already allocated")
+
+        qer = QER(qer_id=1, gate_open=True, mbr_bps=mbr_bps)
+        uplink_far = FAR(far_id=1, action=FarAction.FORWARD, decap=True)
+        downlink_far = FAR(
+            far_id=2, action=FarAction.FORWARD, encap_teid=gnb_teid, encap_peer_ip=gnb_ip
+        )
+        uplink_pdr = PDR(
+            pdr_id=1, direction=Direction.UPLINK, far_id=1, qer_id=1, match_teid=uplink_teid
+        )
+        downlink_pdr = PDR(
+            pdr_id=2, direction=Direction.DOWNLINK, far_id=2, qer_id=1, match_ue_ip=ue_ip
+        )
+        session = Session(
+            seid=seid,
+            ue_ip=ue_ip,
+            uplink_teid=uplink_teid,
+            gnb_teid=gnb_teid,
+            gnb_ip=gnb_ip,
+            pdrs=[uplink_pdr, downlink_pdr],
+            fars={1: uplink_far, 2: downlink_far},
+            qers={1: qer},
+        )
+        self.sessions[seid] = session
+        self.uplink_by_teid[uplink_teid] = (session, uplink_pdr)
+        self.downlink_by_ue_ip[ue_ip] = (session, downlink_pdr)
+        return session
+
+    def remove_session(self, seid: int) -> None:
+        """Tear down a session and its fast-path entries."""
+        session = self.sessions.pop(seid, None)
+        if session is None:
+            raise KeyError(f"no session {seid}")
+        self.uplink_by_teid.pop(session.uplink_teid, None)
+        self.downlink_by_ue_ip.pop(session.ue_ip, None)
+
+    def lookup_uplink(self, teid: int) -> "Optional[tuple[Session, PDR]]":
+        """Fast-path uplink match by tunnel TEID."""
+        return self.uplink_by_teid.get(teid)
+
+    def lookup_downlink(self, ue_ip: int) -> "Optional[tuple[Session, PDR]]":
+        """Fast-path downlink match by UE address."""
+        return self.downlink_by_ue_ip.get(ue_ip)

@@ -1,0 +1,43 @@
+"""Workload generators: iPerf-style flows, packet streams, axel sessions."""
+
+from .axel import ParallelDownloadModel, SessionConfig
+from .datagram_app import SealedDatagramCodec, naive_merge, naive_split
+from .distributions import (
+    elephant_mice_split,
+    lognormal_flow_sizes,
+    pareto_flow_sizes,
+    poisson_arrivals,
+)
+from .imix import IMIX_SIMPLE, ImixProfile, imix_tcp_sources, imix_udp_sources
+from .iperf import IperfResult, run_tcp_flow, start_tcp_flows
+from .streams import (
+    TcpStreamSource,
+    UdpStreamSource,
+    interleave,
+    make_tcp_sources,
+    make_udp_sources,
+)
+
+__all__ = [
+    "TcpStreamSource",
+    "UdpStreamSource",
+    "interleave",
+    "make_tcp_sources",
+    "make_udp_sources",
+    "ParallelDownloadModel",
+    "SessionConfig",
+    "IperfResult",
+    "run_tcp_flow",
+    "start_tcp_flows",
+    "pareto_flow_sizes",
+    "lognormal_flow_sizes",
+    "poisson_arrivals",
+    "elephant_mice_split",
+    "SealedDatagramCodec",
+    "naive_merge",
+    "naive_split",
+    "ImixProfile",
+    "IMIX_SIMPLE",
+    "imix_tcp_sources",
+    "imix_udp_sources",
+]

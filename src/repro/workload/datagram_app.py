@@ -1,0 +1,124 @@
+"""A QUIC-like sealed-datagram application layer.
+
+The paper's §3 argues that UDP payloads cannot be transparently merged
+or split because applications like QUIC encrypt per datagram and
+"rely on strict datagram boundaries for interpretation."  This module
+makes that failure mode concrete and testable:
+
+* :class:`SealedDatagramCodec` seals each datagram with a keyed MAC
+  over its exact bytes (plus a toy keystream so the payload is opaque,
+  as ciphertext would be).  ``open`` rejects anything whose boundaries
+  were disturbed — a merge, a split, a truncation.
+* :func:`naive_merge` / :func:`naive_split` are what a
+  boundary-ignorant middlebox would do to UDP payloads; every sealed
+  datagram that passes through them fails to open.
+* PX-caravan, by contrast, preserves boundaries exactly, so sealed
+  datagrams tunnel through PXGW untouched — which is the whole point
+  of the caravan design.
+
+This is deliberately *not* real cryptography (a keystream from
+``sha256`` in counter mode and a truncated HMAC); it reproduces the
+structural property that matters — any byte moved across a datagram
+boundary breaks authentication — without pulling in external
+dependencies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+from typing import List, Optional
+
+from ..packet import Packet
+
+__all__ = ["SealedDatagramCodec", "naive_merge", "naive_split"]
+
+_MAC_LEN = 8
+_HEADER = struct.Struct("!IH")  # sequence, payload length
+
+
+class SealedDatagramCodec:
+    """Seals and opens datagrams under a shared key."""
+
+    def __init__(self, key: bytes):
+        if len(key) < 8:
+            raise ValueError("key too short")
+        self.key = key
+        self._send_seq = 0
+        self.opened = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def _keystream(self, seq: int, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            block = hashlib.sha256(
+                self.key + struct.pack("!IQ", seq, counter)
+            ).digest()
+            out.extend(block)
+            counter += 1
+        return bytes(out[:length])
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Produce one sealed datagram payload."""
+        seq = self._send_seq
+        self._send_seq += 1
+        header = _HEADER.pack(seq, len(plaintext))
+        body = bytes(a ^ b for a, b in zip(plaintext, self._keystream(seq, len(plaintext))))
+        mac = hmac.new(self.key, header + body, hashlib.sha256).digest()[:_MAC_LEN]
+        return header + body + mac
+
+    def open(self, payload: bytes) -> Optional[bytes]:
+        """Open a sealed datagram; None if boundaries were disturbed."""
+        if len(payload) < _HEADER.size + _MAC_LEN:
+            self.rejected += 1
+            return None
+        seq, length = _HEADER.unpack_from(payload)
+        expected_len = _HEADER.size + length + _MAC_LEN
+        if len(payload) != expected_len:
+            # A merge appended bytes; a split removed them.  Either way
+            # the datagram is not the one that was sealed.
+            self.rejected += 1
+            return None
+        body = payload[_HEADER.size : _HEADER.size + length]
+        mac = payload[_HEADER.size + length :]
+        expected = hmac.new(self.key, payload[: _HEADER.size + length],
+                            hashlib.sha256).digest()[:_MAC_LEN]
+        if not hmac.compare_digest(mac, expected):
+            self.rejected += 1
+            return None
+        self.opened += 1
+        return bytes(a ^ b for a, b in zip(body, self._keystream(seq, length)))
+
+
+def naive_merge(packets: List[Packet]) -> Packet:
+    """What a boundary-ignorant middlebox would do: concatenate payloads.
+
+    The result is a single UDP datagram whose payload is the raw
+    concatenation — exactly the transformation the paper says breaks
+    QUIC-like applications (contrast :func:`repro.core.encode_caravan`,
+    which preserves each inner datagram).
+    """
+    if not packets:
+        raise ValueError("nothing to merge")
+    merged = packets[0].copy()
+    merged.payload = b"".join(p.payload for p in packets)
+    merged.ip.total_length = merged.ip.header_len + 8 + len(merged.payload)
+    return merged
+
+
+def naive_split(packet: Packet, mtu: int) -> List[Packet]:
+    """Split a UDP datagram's payload at arbitrary MTU boundaries."""
+    max_payload = mtu - packet.ip.header_len - 8
+    if max_payload <= 0:
+        raise ValueError("MTU too small")
+    pieces: List[Packet] = []
+    payload = packet.payload
+    for cursor in range(0, len(payload), max_payload):
+        piece = packet.copy()
+        piece.payload = payload[cursor : cursor + max_payload]
+        piece.ip.total_length = piece.ip.header_len + 8 + len(piece.payload)
+        pieces.append(piece)
+    return pieces

@@ -1,0 +1,50 @@
+"""Flow-size and arrival distributions for mixed-traffic experiments.
+
+The Internet's flow population is famously elephant/mice skewed; the
+hairpin-steering ablation uses these to synthesize realistic mixes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = ["pareto_flow_sizes", "lognormal_flow_sizes", "poisson_arrivals",
+           "elephant_mice_split"]
+
+
+def pareto_flow_sizes(count: int, rng: random.Random,
+                      alpha: float = 1.2, minimum: int = 1448) -> List[int]:
+    """Heavy-tailed (bounded Pareto-ish) flow sizes in bytes."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    sizes = []
+    for _ in range(count):
+        u = rng.random()
+        size = int(minimum / (1.0 - u) ** (1.0 / alpha))
+        sizes.append(min(size, 10 ** 10))
+    return sizes
+
+
+def lognormal_flow_sizes(count: int, rng: random.Random,
+                         mu: float = 10.0, sigma: float = 2.0) -> List[int]:
+    """Log-normal flow sizes in bytes (median ``e**mu``)."""
+    return [max(1, int(rng.lognormvariate(mu, sigma))) for _ in range(count)]
+
+
+def poisson_arrivals(count: int, rng: random.Random, rate_per_sec: float) -> List[float]:
+    """*count* cumulative Poisson arrival times at the given rate."""
+    if rate_per_sec <= 0:
+        raise ValueError("rate must be positive")
+    now = 0.0
+    times = []
+    for _ in range(count):
+        now += rng.expovariate(rate_per_sec)
+        times.append(now)
+    return times
+
+
+def elephant_mice_split(sizes: List[int], elephant_bytes: int = 1_000_000) -> "tuple[int, int]":
+    """Count (elephants, mice) under a byte threshold."""
+    elephants = sum(1 for size in sizes if size >= elephant_bytes)
+    return elephants, len(sizes) - elephants

@@ -1,0 +1,78 @@
+"""Tests for metrics helpers and the experiment report."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentReport,
+    format_bps,
+    geometric_mean,
+    mean,
+    percentile,
+    size_histogram_summary,
+    throughput_bps,
+)
+
+
+class TestMetrics:
+    def test_throughput(self):
+        assert throughput_bps(125_000_000, 1.0) == pytest.approx(1e9)
+        with pytest.raises(ValueError):
+            throughput_bps(1, 0)
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1, -1])
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_histogram_summary(self):
+        mean_size, modal = size_histogram_summary({9000: 9, 1500: 1})
+        assert modal == 9000
+        assert mean_size == pytest.approx(8250)
+        assert size_histogram_summary({}) == (0.0, 0)
+
+
+class TestFormatBps:
+    @pytest.mark.parametrize("value,expected", [
+        (1.45e12, "1.45 Tbps"),
+        (208e9, "208.0 Gbps"),
+        (50.1e9, "50.1 Gbps"),
+        (100e6, "100.0 Mbps"),
+        (500, "500 bps"),
+    ])
+    def test_formats(self, value, expected):
+        assert format_bps(value) == expected
+
+
+class TestExperimentReport:
+    def test_rows_and_ratio(self):
+        report = ExperimentReport("Figure 5a", "PXGW TCP throughput")
+        row = report.add("PX throughput", paper=1.09e12, measured=1.05e12, unit="bps")
+        assert row.ratio == pytest.approx(1.05 / 1.09, rel=1e-6)
+
+    def test_within_tolerance(self):
+        report = ExperimentReport("T", "t")
+        report.add("x", paper=100.0, measured=104.0)
+        assert report.within("x", 0.05)
+        assert not report.within("x", 0.02)
+        with pytest.raises(KeyError):
+            report.within("missing", 0.1)
+
+    def test_render_includes_all_rows(self):
+        report = ExperimentReport("Figure 1a", "UPF")
+        report.add("a", 1.0, 2.0)
+        report.add("b", None, 3.0, note="no paper value")
+        text = report.render()
+        assert "Figure 1a" in text
+        assert "2.00x" in text
+        assert "no paper value" in text

@@ -1,0 +1,103 @@
+"""Tests for the caravan-aware host stack (§4.1's modified end host)."""
+
+import pytest
+
+from repro.core import GatewayConfig, PXGateway, is_caravan
+from repro.net import Topology
+from repro.workload import SealedDatagramCodec
+
+
+def bnetwork_topology():
+    topo = Topology()
+    inside = topo.add_host("inside")
+    outside = topo.add_host("outside")
+    gateway = PXGateway(topo.sim, "pxgw",
+                        config=GatewayConfig(elephant_threshold_packets=2))
+    topo.add_node(gateway)
+    topo.link(inside, gateway, mtu=9000)
+    topo.link(gateway, outside, mtu=1500)
+    topo.build_routes()
+    gateway.mark_internal(gateway.interfaces[0])
+    return topo, inside, outside, gateway
+
+
+class TestCaravanRxStack:
+    def test_transparent_decode_delivers_individual_datagrams(self):
+        topo, inside, outside, gateway = bnetwork_topology()
+        inside.enable_caravan_stack(imtu=9000)
+        received = []
+        inside.on_udp(5001, lambda packet, host: received.append(packet))
+        for _ in range(18):
+            outside.send_udp(inside.ip, 6000, 5001, b"\xcd" * 1200)
+        topo.run(until=1.0)
+        # The app sees 18 plain datagrams, never a caravan.
+        assert len(received) == 18
+        assert not any(is_caravan(p) for p in received)
+        assert all(p.payload == b"\xcd" * 1200 for p in received)
+        assert gateway.stats.caravans_built > 0
+
+    def test_unmodified_host_sees_raw_caravans(self):
+        topo, inside, outside, gateway = bnetwork_topology()
+        received = []
+        inside.on_udp(5001, lambda packet, host: received.append(packet))
+        for _ in range(18):
+            outside.send_udp(inside.ip, 6000, 5001, b"\xcd" * 1200)
+        topo.run(until=1.0)
+        assert any(is_caravan(p) for p in received)
+
+    def test_validation(self):
+        topo, inside, _outside, _gateway = bnetwork_topology()
+        with pytest.raises(ValueError):
+            inside.enable_caravan_stack(imtu=100)
+
+
+class TestCaravanTxStack:
+    def test_bulk_send_bundles_to_imtu(self):
+        topo, inside, outside, gateway = bnetwork_topology()
+        inside.enable_caravan_stack(imtu=9000)
+        received = []
+        outside.on_udp(7001, lambda packet, host: received.append(packet))
+        datagrams = [bytes([i]) * 1200 for i in range(24)]
+        sent_packets = inside.send_udp_bulk(outside.ip, 7000, 7001, datagrams)
+        topo.run(until=1.0)
+        # 7 x 1208 B records fit an 8972 B budget: 24 datagrams -> 4 caravans.
+        assert sent_packets == 4
+        # The gateway opened the caravans at the egress; the legacy
+        # receiver got every original datagram back.
+        assert len(received) == 24
+        assert [p.payload for p in received] == datagrams
+        assert gateway.stats.caravans_opened == 4
+
+    def test_bulk_send_without_caravan_stack_sends_loose(self):
+        topo, inside, outside, _gateway = bnetwork_topology()
+        received = []
+        outside.on_udp(7001, lambda packet, host: received.append(packet))
+        sent = inside.send_udp_bulk(outside.ip, 7000, 7001, [b"a" * 500] * 5)
+        topo.run(until=1.0)
+        assert sent == 5
+        assert len(received) == 5
+
+    def test_sealed_datagrams_survive_the_full_tx_path(self):
+        topo, inside, outside, gateway = bnetwork_topology()
+        inside.enable_caravan_stack(imtu=9000)
+        tx = SealedDatagramCodec(b"stack-key-0001")
+        rx = SealedDatagramCodec(b"stack-key-0001")
+        opened = []
+        outside.on_udp(7001, lambda packet, host: opened.append(rx.open(packet.payload)))
+        inside.send_udp_bulk(outside.ip, 7000, 7001,
+                             [tx.seal(bytes([i]) * 800) for i in range(12)])
+        topo.run(until=1.0)
+        assert len(opened) == 12
+        assert all(result is not None for result in opened)
+
+    def test_oversized_single_datagram_sent_alone(self):
+        topo, inside, outside, _gateway = bnetwork_topology()
+        inside.enable_caravan_stack(imtu=9000)
+        received = []
+        outside.on_udp(7001, lambda packet, host: received.append(packet))
+        # 8000 B datagram: bundles alone, crosses as fragments, reassembles.
+        sent = inside.send_udp_bulk(outside.ip, 7000, 7001, [b"z" * 8000])
+        topo.run(until=1.0)
+        assert sent == 1
+        assert len(received) == 1
+        assert received[0].payload == b"z" * 8000

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gateway_defaults(self):
+        args = build_parser().parse_args(["gateway"])
+        assert args.imtu == 9000 and args.emtu == 1500
+
+    def test_upf_options(self):
+        args = build_parser().parse_args(["upf", "--mtu", "3000", "--flows", "10"])
+        assert args.mtu == 3000 and args.flows == 10
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_upf_command(self, capsys):
+        assert main(["upf", "--mtu", "1500", "--flows", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Gbps" in out and "cycles/packet" in out
+
+    def test_survey_command(self, capsys):
+        assert main(["survey", "-n", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "fragment delivery OK" in out
+
+    def test_gateway_command(self, capsys):
+        assert main(["gateway", "--megabytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "conversion yield" in out
+        assert "8960" in out  # raised MSS visible

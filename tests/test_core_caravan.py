@@ -1,0 +1,141 @@
+"""Tests for PX-caravan encoding and the merge/split engines."""
+
+import pytest
+
+from repro.core import (
+    CaravanMergeEngine,
+    CaravanSplitEngine,
+    decode_caravan,
+    encode_caravan,
+    is_caravan,
+)
+from repro.packet import PX_CARAVAN_TOS, build_tcp, build_udp
+
+
+def dgram(payload=b"", ip_id=None, flow=0, size=None):
+    if size is not None:
+        payload = bytes(size)
+    return build_udp("203.0.113.9", "10.1.0.7", 30000 + flow, 443,
+                     payload=payload, ip_id=ip_id)
+
+
+class TestCaravanFormat:
+    def test_roundtrip(self):
+        originals = [dgram(b"alpha" * 100), dgram(b"beta" * 100), dgram(b"gamma")]
+        caravan = encode_caravan(originals)
+        assert is_caravan(caravan)
+        assert caravan.ip.tos == PX_CARAVAN_TOS
+        restored = decode_caravan(caravan)
+        assert [p.payload for p in restored] == [p.payload for p in originals]
+        assert all(p.udp.dst_port == 443 for p in restored)
+        assert all(p.ip.tos == 0 for p in restored)
+
+    def test_outer_length_covers_all_inner(self):
+        originals = [dgram(size=1000) for _ in range(5)]
+        caravan = encode_caravan(originals)
+        # 5 x (8 B inner header + 1000 B payload) + outer 28 B.
+        assert caravan.total_len == 28 + 5 * 1008
+        assert caravan.total_len == len(caravan.to_bytes())
+
+    def test_restored_ip_ids_consecutive(self):
+        originals = [dgram(size=100, ip_id=500 + i) for i in range(3)]
+        caravan = encode_caravan(originals)
+        restored = decode_caravan(caravan)
+        ids = [p.ip.identification for p in restored]
+        assert ids == [caravan.ip.identification,
+                       caravan.ip.identification + 1,
+                       caravan.ip.identification + 2]
+
+    def test_single_packet_not_wrapped(self):
+        packet = dgram(b"solo")
+        assert encode_caravan([packet]) is packet
+
+    def test_mixed_flows_rejected(self):
+        with pytest.raises(ValueError):
+            encode_caravan([dgram(b"a", flow=0), dgram(b"b", flow=1)])
+
+    def test_tcp_rejected(self):
+        tcp = build_tcp("1.1.1.1", "2.2.2.2", 1, 2, payload=b"t")
+        with pytest.raises(ValueError):
+            encode_caravan([tcp, tcp])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encode_caravan([])
+
+    def test_non_caravan_decode_passthrough(self):
+        packet = dgram(b"plain")
+        assert decode_caravan(packet) == [packet]
+
+    def test_corrupt_caravan_rejected(self):
+        caravan = encode_caravan([dgram(size=100, ip_id=1), dgram(size=100, ip_id=2)])
+        caravan.payload = caravan.payload[:5]  # truncate mid inner header
+        with pytest.raises(ValueError):
+            decode_caravan(caravan)
+
+
+class TestCaravanMergeEngine:
+    def test_merges_consecutive_ids(self):
+        engine = CaravanMergeEngine(max_payload=8972)
+        for i in range(6):
+            emitted = engine.feed(dgram(size=1200, ip_id=100 + i))
+            assert emitted == []
+        [caravan] = engine.flush()
+        assert is_caravan(caravan)
+        assert caravan.meta["caravan_inner"] == 6
+
+    def test_id_gap_flushes(self):
+        engine = CaravanMergeEngine(max_payload=8972)
+        engine.feed(dgram(size=1200, ip_id=1))
+        engine.feed(dgram(size=1200, ip_id=2))
+        emitted = engine.feed(dgram(size=1200, ip_id=7))  # loss upstream
+        assert len(emitted) == 1
+        assert emitted[0].meta["caravan_inner"] == 2
+
+    def test_capacity_flush(self):
+        engine = CaravanMergeEngine(max_payload=5000)
+        emitted = []
+        for i in range(10):
+            emitted.extend(engine.feed(dgram(size=1200, ip_id=i)))
+        emitted.extend(engine.flush())
+        # Each caravan holds at most 4 x 1208 = 4832 <= 5000 bytes.
+        assert all(p.total_len <= 5028 for p in emitted)
+        total_inner = sum(p.meta.get("caravan_inner", 1) for p in emitted)
+        assert total_inner == 10
+
+    def test_short_datagram_terminates(self):
+        engine = CaravanMergeEngine(max_payload=8972)
+        engine.feed(dgram(size=1200, ip_id=1))
+        emitted = engine.feed(dgram(size=300, ip_id=2))
+        assert len(emitted) == 1
+        assert emitted[0].meta["caravan_inner"] == 2
+
+    def test_timeout_flush(self):
+        engine = CaravanMergeEngine(max_payload=8972)
+        engine.feed(dgram(size=1000, ip_id=1), now=0.0)
+        assert engine.flush_older_than(now=0.0002, max_age=0.0005) == []
+        [caravan] = engine.flush_older_than(now=0.001, max_age=0.0005)
+        assert caravan is not None
+
+    def test_existing_caravan_passthrough(self):
+        engine = CaravanMergeEngine(max_payload=8972)
+        caravan = encode_caravan([dgram(size=100, ip_id=1), dgram(size=100, ip_id=2)])
+        assert engine.feed(caravan) == [caravan]
+
+    def test_roundtrip_through_engines(self):
+        merge = CaravanMergeEngine(max_payload=8972)
+        split = CaravanSplitEngine()
+        originals = [dgram(size=1200, ip_id=50 + i) for i in range(12)]
+        transported = []
+        for packet in originals:
+            transported.extend(merge.feed(packet))
+        transported.extend(merge.flush())
+        restored = []
+        for packet in transported:
+            restored.extend(split.process(packet))
+        assert [p.payload for p in restored] == [p.payload for p in originals]
+        assert split.opened == merge.built
+
+    def test_tiny_max_payload_rejected(self):
+        with pytest.raises(ValueError):
+            CaravanMergeEngine(max_payload=8)

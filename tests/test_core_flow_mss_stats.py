@@ -1,0 +1,174 @@
+"""Tests for the flow table, classifier, MSS clamp, config, and stats."""
+
+import pytest
+
+from repro.core import (
+    Bound,
+    FlowClassifier,
+    FlowTable,
+    GatewayConfig,
+    GatewayStats,
+    MssClamp,
+)
+from repro.packet import FlowKey, IPProto, TCPFlags, build_tcp, build_udp
+
+
+class TestFlowTable:
+    def key(self, i=0):
+        return FlowKey(IPProto.TCP, 100 + i, 1, 200, 2)
+
+    def test_lookup_creates_once(self):
+        table = FlowTable()
+        a = table.lookup(self.key(), now=1.0)
+        b = table.lookup(self.key(), now=2.0)
+        assert a is b
+        assert table.misses == 1
+        assert table.lookups == 2
+
+    def test_lru_eviction(self):
+        evicted = []
+        table = FlowTable(capacity=2, on_evict=evicted.append)
+        table.lookup(self.key(0))
+        table.lookup(self.key(1))
+        table.lookup(self.key(0))  # refresh 0
+        table.lookup(self.key(2))  # evicts 1
+        assert table.evictions == 1
+        assert evicted[0].key == self.key(1)
+        assert self.key(0) in table
+
+    def test_expire_idle(self):
+        table = FlowTable()
+        state = table.lookup(self.key(), now=0.0)
+        state.touch(100, now=0.0)
+        assert table.expire_idle(now=100.0, idle_timeout=30.0) == 1
+        assert len(table) == 0
+
+    def test_peek_does_not_create(self):
+        table = FlowTable()
+        assert table.peek(self.key()) is None
+        assert len(table) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FlowTable(capacity=0)
+
+
+class TestClassifier:
+    def packet(self, flow=0):
+        return build_udp("1.0.0.1", "2.0.0.2", 1000 + flow, 80, payload=b"x" * 100)
+
+    def test_promotion_after_threshold(self):
+        table = FlowTable()
+        classifier = FlowClassifier(table, threshold_packets=4, window=1.0)
+        verdicts = [
+            classifier.observe(self.packet(), now=0.001 * i).is_elephant
+            for i in range(5)
+        ]
+        assert verdicts == [False, False, False, True, True]
+        assert classifier.promotions == 1
+
+    def test_sporadic_flow_stays_mouse(self):
+        table = FlowTable()
+        classifier = FlowClassifier(table, threshold_packets=4, window=0.01)
+        # One packet every 100 ms: the window resets between arrivals.
+        for i in range(20):
+            state = classifier.observe(self.packet(), now=0.1 * i)
+        assert not state.is_elephant
+
+    def test_promotion_is_sticky(self):
+        table = FlowTable()
+        classifier = FlowClassifier(table, threshold_packets=2, window=0.01)
+        classifier.observe(self.packet(), now=0.0)
+        state = classifier.observe(self.packet(), now=0.001)
+        assert state.is_elephant
+        # Quiet period, then one packet: still an elephant.
+        state = classifier.observe(self.packet(), now=5.0)
+        assert state.is_elephant
+
+
+class TestMssClamp:
+    def syn(self, mss, flags=TCPFlags.SYN):
+        return build_tcp("1.1.1.1", "2.2.2.2", 1, 2, flags=flags, mss=mss)
+
+    def test_inbound_raises_mss(self):
+        clamp = MssClamp(GatewayConfig(imtu=9000, emtu=1500))
+        packet = self.syn(1460)
+        assert clamp.process(packet, Bound.INBOUND)
+        assert packet.tcp.mss_option == 8960
+        assert packet.meta["mss_raised_from"] == 1460
+
+    def test_inbound_leaves_larger_mss(self):
+        clamp = MssClamp(GatewayConfig(imtu=9000, emtu=1500))
+        packet = self.syn(9200)
+        assert not clamp.process(packet, Bound.INBOUND)
+        assert packet.tcp.mss_option == 9200
+
+    def test_outbound_caps_mss(self):
+        clamp = MssClamp(GatewayConfig(imtu=9000, emtu=1500))
+        packet = self.syn(8960)
+        assert clamp.process(packet, Bound.OUTBOUND)
+        assert packet.tcp.mss_option == 1460
+
+    def test_synack_also_rewritten(self):
+        clamp = MssClamp(GatewayConfig())
+        packet = self.syn(1460, flags=TCPFlags.SYN | TCPFlags.ACK)
+        assert clamp.process(packet, Bound.INBOUND)
+
+    def test_data_packets_untouched(self):
+        clamp = MssClamp(GatewayConfig())
+        packet = build_tcp("1.1.1.1", "2.2.2.2", 1, 2, payload=b"data", mss=1460)
+        assert not clamp.process(packet, Bound.INBOUND)
+
+    def test_syn_without_mss_untouched(self):
+        clamp = MssClamp(GatewayConfig())
+        packet = build_tcp("1.1.1.1", "2.2.2.2", 1, 2, flags=TCPFlags.SYN)
+        assert not clamp.process(packet, Bound.INBOUND)
+
+
+class TestGatewayConfig:
+    def test_defaults_are_paper_px(self):
+        config = GatewayConfig()
+        assert config.imtu == 9000 and config.emtu == 1500
+        assert config.delayed_merge and config.mss_clamp
+        assert not config.header_only_dma and not config.baseline_gro
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(imtu=1500, emtu=1500)
+        with pytest.raises(ValueError):
+            GatewayConfig(imtu=9000, emtu=500)
+
+    def test_payload_budgets(self):
+        config = GatewayConfig(imtu=9000, emtu=1500)
+        assert config.imtu_tcp_payload == 8960
+        assert config.emtu_tcp_payload == 1460
+        assert config.imtu_udp_payload == 8972
+
+
+class TestGatewayStats:
+    def test_conversion_yield(self):
+        stats = GatewayStats()
+        for _ in range(9):
+            stats.note_inbound_data_packet(9000, imtu=9000)
+        stats.note_inbound_data_packet(1500, imtu=9000)
+        assert stats.conversion_yield == pytest.approx(0.9)
+        assert stats.conversion_yield_bytes == pytest.approx(81000 / 82500)
+
+    def test_slack_tolerance(self):
+        stats = GatewayStats()
+        stats.note_inbound_data_packet(8950, imtu=9000, slack=64)
+        assert stats.conversion_yield == 1.0
+
+    def test_empty_yield_zero(self):
+        assert GatewayStats().conversion_yield == 0.0
+
+    def test_merge_aggregates(self):
+        a, b = GatewayStats(), GatewayStats()
+        a.note_inbound_data_packet(9000, imtu=9000)
+        b.note_inbound_data_packet(1500, imtu=9000)
+        b.rx_packets = 7
+        a.merge(b)
+        assert a.inbound_data_packets == 2
+        assert a.conversion_yield == 0.5
+        assert a.rx_packets == 7
+        assert a.inbound_size_histogram == {9000: 1, 1500: 1}

@@ -1,0 +1,128 @@
+"""Tests for the iMTU exchange protocol between neighboring PXGWs."""
+
+import pytest
+
+from repro.core import GatewayConfig, PXGateway
+from repro.core.imtu_exchange import (
+    IMTU_EXCHANGE_PORT,
+    ImtuSpeaker,
+    pack_announcement,
+    parse_announcement,
+)
+from repro.net import Topology
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        payload = pack_announcement(9000, 90)
+        assert parse_announcement(payload) == (9000, 90)
+
+    def test_bad_magic_rejected(self):
+        assert parse_announcement(b"XXXX\x01\x23\x28\x00\x5a") is None
+
+    def test_bad_version_rejected(self):
+        payload = bytearray(pack_announcement(9000, 90))
+        payload[4] = 99
+        assert parse_announcement(bytes(payload)) is None
+
+    def test_truncated_rejected(self):
+        assert parse_announcement(pack_announcement(9000, 90)[:5]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pack_announcement(100, 90)
+        with pytest.raises(ValueError):
+            pack_announcement(9000, 0)
+
+
+def peered_gateways(imtu_1=9000, imtu_2=9000):
+    """host_a - gw1 ==== gw2 - host_b, jumbo peering link."""
+    topo = Topology()
+    host_a = topo.add_host("host_a")
+    host_b = topo.add_host("host_b")
+    gw1 = PXGateway(topo.sim, "gw1", config=GatewayConfig(imtu=imtu_1))
+    gw2 = PXGateway(topo.sim, "gw2", config=GatewayConfig(imtu=imtu_2))
+    topo.add_node(gw1)
+    topo.add_node(gw2)
+    topo.link(host_a, gw1, mtu=imtu_1)
+    topo.link(gw1, gw2, mtu=max(imtu_1, imtu_2))
+    topo.link(gw2, host_b, mtu=imtu_2)
+    topo.build_routes()
+    gw1.mark_internal(gw1.interfaces[0])
+    gw2.mark_internal(gw2.interfaces[1])
+    return topo, host_a, host_b, gw1, gw2
+
+
+class TestExchange:
+    def test_gateways_learn_peer_imtu(self):
+        topo, _a, _b, gw1, gw2 = peered_gateways()
+        gw1.enable_imtu_exchange(interval=1.0, hold_time=5.0)
+        gw2.enable_imtu_exchange(interval=1.0, hold_time=5.0)
+        topo.run(until=0.5)
+        assert gw1.neighbor_imtu(gw1.interfaces[1]) == 9000
+        assert gw2.neighbor_imtu(gw2.interfaces[0]) == 9000
+
+    def test_learned_imtu_skips_translation(self):
+        topo, host_a, host_b, gw1, gw2 = peered_gateways()
+        gw1.enable_imtu_exchange(interval=1.0, hold_time=5.0)
+        gw2.enable_imtu_exchange(interval=1.0, hold_time=5.0)
+        topo.run(until=0.5)
+        received = []
+        host_b.on_udp(7000, lambda packet, host: received.append(packet))
+        host_a.send_udp(host_b.ip, 1, 7000, b"j" * 8000)
+        topo.run(until=1.0)
+        assert len(received) == 1
+        assert received[0].total_len == 8028
+        assert gw1.untranslated >= 1
+
+    def test_smaller_peer_imtu_still_translates(self):
+        # Peer advertises 4000 < our 9000: jumbos must still be split.
+        topo, host_a, host_b, gw1, gw2 = peered_gateways(imtu_1=9000, imtu_2=4000)
+        gw1.enable_imtu_exchange(interval=1.0, hold_time=5.0)
+        gw2.enable_imtu_exchange(interval=1.0, hold_time=5.0)
+        topo.run(until=0.5)
+        assert gw1.neighbor_imtu(gw1.interfaces[1]) == 4000
+        received = []
+        host_b.on_udp(7000, lambda packet, host: received.append(packet))
+        host_a.send_udp(host_b.ip, 1, 7000, b"j" * 8000)
+        topo.run(until=1.0)
+        assert gw1.untranslated == 0
+
+    def test_entry_expires_without_refresh(self):
+        topo, _a, _b, gw1, gw2 = peered_gateways()
+        speaker2 = gw2.enable_imtu_exchange(interval=1.0, hold_time=3.0)
+        gw1.enable_imtu_exchange(interval=1.0, hold_time=3.0)
+        topo.run(until=0.5)
+        assert gw1.neighbor_imtu(gw1.interfaces[1]) == 9000
+        speaker2.stop()  # gw2 goes quiet (decommissioned)
+        topo.run(until=10.0)
+        assert gw1.neighbor_imtu(gw1.interfaces[1]) is None
+
+    def test_refresh_keeps_entry_alive(self):
+        topo, _a, _b, gw1, gw2 = peered_gateways()
+        gw1.enable_imtu_exchange(interval=1.0, hold_time=3.0)
+        gw2.enable_imtu_exchange(interval=1.0, hold_time=3.0)
+        topo.run(until=20.0)
+        assert gw1.neighbor_imtu(gw1.interfaces[1]) == 9000
+
+    def test_announcement_counters(self):
+        topo, _a, _b, gw1, gw2 = peered_gateways()
+        speaker1 = gw1.enable_imtu_exchange(interval=1.0, hold_time=5.0)
+        speaker2 = gw2.enable_imtu_exchange(interval=1.0, hold_time=5.0)
+        topo.run(until=4.5)
+        assert speaker1.announcements_sent >= 4
+        assert speaker2.announcements_received >= 4
+
+    def test_internal_interfaces_not_announced(self):
+        topo, host_a, _b, gw1, _gw2 = peered_gateways()
+        gw1.enable_imtu_exchange(interval=1.0, hold_time=5.0)
+        topo.run(until=2.5)
+        # The internal host never sees exchange traffic.
+        assert not any(
+            p.is_udp and p.udp.dst_port == IMTU_EXCHANGE_PORT for p in host_a.unclaimed
+        )
+
+    def test_hold_time_must_exceed_interval(self):
+        topo, _a, _b, gw1, _gw2 = peered_gateways()
+        with pytest.raises(ValueError):
+            ImtuSpeaker(gw1, interval=10.0, hold_time=5.0)

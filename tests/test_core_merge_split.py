@@ -1,0 +1,204 @@
+"""Tests for PXGW's TCP stream splicing (merge) and split engines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TcpMergeEngine, TcpSplitEngine
+from repro.packet import TCPFlags, build_tcp, build_udp
+
+
+def seg(seq, payload, flags=TCPFlags.ACK, flow=0):
+    return build_tcp("198.51.100.1", "10.1.0.5", 5000 + flow, 80,
+                     payload=payload, seq=seq, flags=flags)
+
+
+def patterned(length, offset=0):
+    return bytes((offset + i) % 251 for i in range(length))
+
+
+class TestTcpMergeEngine:
+    def test_splices_to_exact_target(self):
+        merge = TcpMergeEngine(target_payload=8960)
+        outputs = []
+        seq = 0
+        for _ in range(10):
+            outputs.extend(merge.feed(seg(seq, patterned(1448, seq))))
+            seq += 1448
+        # 10 * 1448 = 14480 -> one full 8960 segment emitted so far.
+        assert len(outputs) == 1
+        assert len(outputs[0].payload) == 8960
+        assert outputs[0].tcp.seq == 0
+        outputs.extend(merge.flush())
+        assert len(outputs) == 2
+        assert outputs[1].tcp.seq == 8960
+        assert len(outputs[1].payload) == 14480 - 8960
+
+    def test_payload_content_preserved_across_splice(self):
+        merge = TcpMergeEngine(target_payload=4000)
+        stream = b"".join(patterned(997, i) for i in range(13))
+        outputs = []
+        cursor = 0
+        while cursor < len(stream):
+            chunk = stream[cursor : cursor + 997]
+            outputs.extend(merge.feed(seg(cursor, chunk)))
+            cursor += len(chunk)
+        outputs.extend(merge.flush())
+        reassembled = b"".join(p.payload for p in outputs)
+        assert reassembled == stream
+        # Sequence numbers are continuous across emitted segments.
+        expected_seq = 0
+        for packet in outputs:
+            assert packet.tcp.seq == expected_seq
+            expected_seq += len(packet.payload)
+
+    def test_out_of_order_flushes_and_restarts(self):
+        merge = TcpMergeEngine(target_payload=8000)
+        merge.feed(seg(0, patterned(1000)))
+        merge.feed(seg(1000, patterned(1000)))
+        outputs = merge.feed(seg(5000, patterned(1000)))  # gap at 2000
+        assert len(outputs) == 1
+        assert outputs[0].tcp.seq == 0
+        assert len(outputs[0].payload) == 2000
+        tail = merge.flush()
+        assert tail[0].tcp.seq == 5000
+
+    def test_control_flags_flush_and_passthrough(self):
+        merge = TcpMergeEngine(target_payload=8000)
+        merge.feed(seg(0, patterned(500)))
+        fin = seg(500, b"", flags=TCPFlags.FIN | TCPFlags.ACK)
+        outputs = merge.feed(fin)
+        assert len(outputs) == 2
+        assert outputs[0].tcp.seq == 0 and len(outputs[0].payload) == 500
+        assert outputs[1] is fin
+
+    def test_pure_acks_pass_through(self):
+        merge = TcpMergeEngine(target_payload=8000)
+        merge.feed(seg(0, patterned(500)))
+        ack = seg(500, b"")
+        assert merge.feed(ack) == [ack]
+        assert merge.pending_bytes() == 500
+
+    def test_latest_ack_window_propagated(self):
+        merge = TcpMergeEngine(target_payload=2000)
+        first = seg(0, patterned(1000))
+        first.tcp.ack, first.tcp.window = 111, 100
+        second = seg(1000, patterned(1000))
+        second.tcp.ack, second.tcp.window = 222, 50
+        outputs = merge.feed(first) + merge.feed(second)
+        assert len(outputs) == 1
+        assert outputs[0].tcp.ack == 222
+        assert outputs[0].tcp.window == 50
+
+    def test_flows_are_independent(self):
+        merge = TcpMergeEngine(target_payload=4000)
+        merge.feed(seg(0, patterned(1000), flow=0))
+        merge.feed(seg(0, patterned(1000), flow=1))
+        flushed = merge.flush()
+        assert len(flushed) == 2
+        assert all(len(p.payload) == 1000 for p in flushed)
+
+    def test_flush_older_than_only_hits_stale(self):
+        merge = TcpMergeEngine(target_payload=8000)
+        merge.feed(seg(0, patterned(100), flow=0), now=0.0)
+        merge.feed(seg(0, patterned(100), flow=1), now=0.0004)
+        out = merge.flush_older_than(now=0.0005, max_age=0.0005)
+        assert len(out) == 1
+        assert len(merge) == 1
+
+    def test_eviction_under_context_pressure(self):
+        merge = TcpMergeEngine(target_payload=8000, max_contexts=4)
+        for flow in range(8):
+            merge.feed(seg(0, patterned(100), flow=flow))
+        assert merge.evictions == 4
+        assert len(merge) == 4
+
+    def test_seq_wraparound(self):
+        merge = TcpMergeEngine(target_payload=3000)
+        start = (1 << 32) - 1500
+        merge.feed(seg(start, patterned(1500)))
+        outputs = merge.feed(seg(4294965796 + 1500 & 0xFFFFFFFF, patterned(1500)))
+        outputs.extend(merge.flush())
+        total = sum(len(p.payload) for p in outputs)
+        assert total == 3000
+        assert outputs[0].tcp.seq == start
+
+    def test_non_tcp_passthrough(self):
+        merge = TcpMergeEngine(target_payload=8000)
+        udp = build_udp("1.1.1.1", "2.2.2.2", 1, 2, payload=b"u")
+        assert merge.feed(udp) == [udp]
+
+    def test_emitted_packet_serializes(self):
+        merge = TcpMergeEngine(target_payload=8960)
+        seq = 0
+        outputs = []
+        for _ in range(7):
+            outputs.extend(merge.feed(seg(seq, patterned(1448, seq))))
+            seq += 1448
+        merged = outputs[0]
+        assert merged.total_len == len(merged.to_bytes())
+        assert merged.total_len == 9000
+
+    @settings(max_examples=25)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=1460), min_size=1, max_size=60),
+        target=st.integers(min_value=1000, max_value=9000),
+    )
+    def test_byte_stream_identity_property(self, sizes, target):
+        merge = TcpMergeEngine(target_payload=target)
+        stream = bytearray()
+        outputs = []
+        seq = 0
+        for index, size in enumerate(sizes):
+            chunk = patterned(size, index)
+            stream.extend(chunk)
+            outputs.extend(merge.feed(seg(seq, chunk)))
+            seq += size
+        outputs.extend(merge.flush())
+        assert b"".join(p.payload for p in outputs) == bytes(stream)
+        assert all(len(p.payload) <= target for p in outputs)
+
+
+class TestTcpSplitEngine:
+    def test_small_passthrough(self):
+        split = TcpSplitEngine(emtu=1500)
+        packet = seg(0, patterned(1000))
+        assert split.process(packet) == [packet]
+
+    def test_split_respects_emtu(self):
+        split = TcpSplitEngine(emtu=1500)
+        packet = seg(0, patterned(8960))
+        segments = split.process(packet)
+        assert all(s.total_len <= 1500 for s in segments)
+        assert b"".join(s.payload for s in segments) == packet.payload
+
+    def test_split_counts(self):
+        split = TcpSplitEngine(emtu=1500)
+        split.process(seg(0, patterned(8960)))
+        assert split.split_packets == 1
+        assert split.output_segments == 7  # ceil(8960/1460)
+
+    def test_non_tcp_passthrough(self):
+        split = TcpSplitEngine(emtu=1500)
+        udp = build_udp("1.1.1.1", "2.2.2.2", 1, 2, payload=b"x" * 3000)
+        assert split.process(udp) == [udp]
+
+    def test_bad_emtu_rejected(self):
+        with pytest.raises(ValueError):
+            TcpSplitEngine(emtu=100)
+
+    def test_merge_then_split_roundtrip(self):
+        merge = TcpMergeEngine(target_payload=8960)
+        split = TcpSplitEngine(emtu=1500)
+        stream = b"".join(patterned(1448, i) for i in range(20))
+        outputs = []
+        seq = 0
+        for i in range(20):
+            outputs.extend(merge.feed(seg(seq, stream[seq : seq + 1448])))
+            seq += 1448
+        outputs.extend(merge.flush())
+        wire = []
+        for packet in outputs:
+            wire.extend(split.process(packet))
+        assert b"".join(p.payload for p in wire) == stream
+        assert all(p.total_len <= 1500 for p in wire)

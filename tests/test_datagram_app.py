@@ -1,0 +1,124 @@
+"""Tests proving §3's claim: naive UDP resizing breaks sealed datagrams,
+PX-caravan does not."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CaravanMergeEngine, CaravanSplitEngine, GatewayConfig, PXGateway, decode_caravan
+from repro.net import Topology
+from repro.packet import build_udp
+from repro.workload.datagram_app import SealedDatagramCodec, naive_merge, naive_split
+
+
+def sealed_packets(codec, count=6, size=1000, ip_id_base=100):
+    packets = []
+    for index in range(count):
+        payload = codec.seal(bytes([index]) * size)
+        packets.append(build_udp("198.51.100.1", "10.1.0.5", 4433, 4433,
+                                 payload=payload, ip_id=ip_id_base + index))
+    return packets
+
+
+class TestCodec:
+    def test_seal_open_roundtrip(self):
+        sender = SealedDatagramCodec(b"shared-key-123")
+        receiver = SealedDatagramCodec(b"shared-key-123")
+        sealed = sender.seal(b"hello quic")
+        assert receiver.open(sealed) == b"hello quic"
+
+    def test_payload_is_opaque(self):
+        codec = SealedDatagramCodec(b"shared-key-123")
+        sealed = codec.seal(b"A" * 64)
+        assert b"A" * 64 not in sealed
+
+    def test_wrong_key_rejected(self):
+        sealed = SealedDatagramCodec(b"shared-key-123").seal(b"secret")
+        assert SealedDatagramCodec(b"another-key-456").open(sealed) is None
+
+    def test_truncation_rejected(self):
+        codec = SealedDatagramCodec(b"shared-key-123")
+        sealed = codec.seal(b"payload")
+        assert codec.open(sealed[:-1]) is None
+        assert codec.open(sealed[:4]) is None
+
+    def test_extension_rejected(self):
+        codec = SealedDatagramCodec(b"shared-key-123")
+        assert codec.open(codec.seal(b"payload") + b"x") is None
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            SealedDatagramCodec(b"abc")
+
+    @settings(max_examples=25)
+    @given(st.binary(min_size=0, max_size=2000))
+    def test_roundtrip_property(self, plaintext):
+        sender = SealedDatagramCodec(b"property-key-1")
+        receiver = SealedDatagramCodec(b"property-key-1")
+        assert receiver.open(sender.seal(plaintext)) == plaintext
+
+
+class TestNaiveResizingBreaksApps:
+    def test_naive_merge_breaks_every_datagram(self):
+        sender = SealedDatagramCodec(b"shared-key-123")
+        receiver = SealedDatagramCodec(b"shared-key-123")
+        packets = sealed_packets(sender)
+        merged = naive_merge(packets)
+        # The receiver gets one big datagram; nothing inside opens.
+        assert receiver.open(merged.payload) is None
+
+    def test_naive_split_breaks_every_piece(self):
+        sender = SealedDatagramCodec(b"shared-key-123")
+        receiver = SealedDatagramCodec(b"shared-key-123")
+        big = build_udp("1.1.1.1", "2.2.2.2", 1, 2, payload=sender.seal(b"z" * 3000))
+        for piece in naive_split(big, 1500):
+            assert receiver.open(piece.payload) is None
+
+    def test_caravan_preserves_every_datagram(self):
+        sender = SealedDatagramCodec(b"shared-key-123")
+        receiver = SealedDatagramCodec(b"shared-key-123")
+        packets = sealed_packets(sender)
+        merge = CaravanMergeEngine(max_payload=8972)
+        split = CaravanSplitEngine()
+        transported = []
+        for packet in packets:
+            transported.extend(merge.feed(packet))
+        transported.extend(merge.flush())
+        restored = []
+        for packet in transported:
+            restored.extend(split.process(packet))
+        opened = [receiver.open(p.payload) for p in restored]
+        assert all(result is not None for result in opened)
+        assert receiver.rejected == 0
+
+    def test_end_to_end_through_pxgw(self):
+        # Sealed datagrams from a legacy CDN cross a PXGW into the
+        # b-network as caravans; a caravan-aware receiver opens them all.
+        topo = Topology()
+        viewer = topo.add_host("viewer")
+        cdn = topo.add_host("cdn")
+        gateway = PXGateway(topo.sim, "pxgw",
+                            config=GatewayConfig(elephant_threshold_packets=2))
+        topo.add_node(gateway)
+        topo.link(viewer, gateway, mtu=9000)
+        topo.link(gateway, cdn, mtu=1500)
+        topo.build_routes()
+        gateway.mark_internal(gateway.interfaces[0])
+
+        sender = SealedDatagramCodec(b"shared-key-123")
+        receiver = SealedDatagramCodec(b"shared-key-123")
+        opened = []
+
+        def on_media(packet, host):
+            for datagram in decode_caravan(packet):
+                result = receiver.open(datagram.payload)
+                if result is not None:
+                    opened.append(result)
+
+        viewer.on_udp(4433, on_media)
+        for index in range(30):
+            cdn.send_udp(viewer.ip, 4433, 4433, sender.seal(bytes([index]) * 1000))
+        topo.run(until=1.0)
+        assert len(opened) == 30
+        assert receiver.rejected == 0
+        assert gateway.stats.caravans_built > 0

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion and says what
+it promised.  Keeps the documentation executable."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "conversion yield" in out
+        assert "8960" in out  # MSS raised by the gateway
+
+    def test_pmtud_showdown(self):
+        out = run_example("pmtud_showdown.py")
+        assert "F-PMTUD" in out
+        assert "FAILED" in out  # classical PMTUD dies at the blackhole
+        assert "speedup" in out
+
+    def test_caravan_streaming(self):
+        out = run_example("caravan_streaming.py")
+        assert "every frame intact and in order: True" in out
+
+    def test_upf_acceleration(self):
+        out = run_example("upf_acceleration.py")
+        assert "speedup 9000 B over 1500 B" in out
+        assert "GTP-U decapsulated" in out
+
+    def test_bnetwork_federation(self):
+        out = run_example("bnetwork_federation.py")
+        assert "never clamped" in out
+        assert "untouched" in out
+
+    def test_wireshark_capture(self, tmp_path):
+        target = tmp_path / "capture.pcap"
+        out = run_example("wireshark_capture.py", str(target))
+        assert "wrote" in out
+        assert target.exists() and target.stat().st_size > 1000

@@ -1,0 +1,104 @@
+"""Unit tests for fairness metrics, IMIX profiles, and worker regressions."""
+
+import random
+
+import pytest
+
+from repro.analysis.fairness import jain_index, mss_bias_ratio, throughput_shares
+from repro.core import Bound, GatewayConfig, GatewayWorker
+from repro.packet import build_tcp
+from repro.workload.imix import IMIX_SIMPLE, ImixProfile, imix_tcp_sources, imix_udp_sources
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([10.0, 10.0, 10.0]) == pytest.approx(1.0)
+
+    def test_one_flow_hogs(self):
+        assert jain_index([100.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_intermediate(self):
+        value = jain_index([3.0, 1.0])
+        assert 0.5 < value < 1.0
+
+    def test_all_zero_vacuously_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+    def test_shares_sum_to_one(self):
+        shares = throughput_shares([1.0, 3.0])
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares == [0.25, 0.75]
+        assert throughput_shares([0.0]) == [0.0]
+
+    def test_bias_ratio(self):
+        groups = {"large": [6.0, 6.0], "small": [2.0, 2.0]}
+        assert mss_bias_ratio(groups) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            mss_bias_ratio({"large": [], "small": [1.0]})
+
+
+class TestImixProfile:
+    def test_mean_size(self):
+        profile = ImixProfile()
+        assert profile.mean_size == pytest.approx((40 * 7 + 576 * 4 + 1500 * 1) / 12)
+
+    def test_draw_respects_weights(self):
+        profile = ImixProfile()
+        rng = random.Random(5)
+        draws = [profile.draw(rng) for _ in range(12_000)]
+        small = sum(1 for size in draws if size == 40)
+        # 7/12 of draws should be 40 B (within sampling noise).
+        assert small / len(draws) == pytest.approx(7 / 12, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImixProfile([])
+        with pytest.raises(ValueError):
+            ImixProfile([(10, 1)])  # below header floor
+        with pytest.raises(ValueError):
+            ImixProfile([(100, 0)])
+
+    def test_udp_sources_sizes_from_mix(self):
+        sources = imix_udp_sources(200, random.Random(1))
+        sizes = {source.payload_size + 28 for source in sources}
+        assert sizes <= {size for size, _w in IMIX_SIMPLE}
+
+    def test_tcp_sources_sizes_from_mix(self):
+        sources = imix_tcp_sources(200, random.Random(2))
+        sizes = {source.payload_size + 40 for source in sources}
+        # 40 B IP packets cannot carry TCP payload; floor at 1 byte.
+        assert all(source.payload_size >= 1 for source in sources)
+        assert 576 in sizes or 1500 in sizes
+
+
+class TestWorkerHairpinMtuGuard:
+    """Regression: a mouse-classified jumbo must never hairpin outbound
+    (it would exceed the egress MTU and trigger spurious ICMP/PMTUD)."""
+
+    def test_outbound_jumbo_mouse_goes_through_split(self):
+        worker = GatewayWorker(GatewayConfig())  # hairpin on, threshold 8
+        packet = build_tcp("10.1.0.1", "9.9.9.9", 80, 1, payload=b"j" * 8948)
+        outs = worker.process(packet, Bound.OUTBOUND)  # first packet = mouse
+        assert worker.stats.hairpinned == 0
+        assert len(outs) == 7
+        assert all(p.total_len <= 1500 for p in outs)
+
+    def test_outbound_small_mouse_still_hairpins(self):
+        worker = GatewayWorker(GatewayConfig())
+        packet = build_tcp("10.1.0.1", "9.9.9.9", 80, 1, payload=b"s" * 200)
+        outs = worker.process(packet, Bound.OUTBOUND)
+        assert outs == [packet]
+        assert worker.stats.hairpinned == 1
+
+    def test_inbound_mouse_hairpins_regardless_of_size_fit(self):
+        worker = GatewayWorker(GatewayConfig())
+        packet = build_tcp("9.9.9.9", "10.1.0.1", 1, 80, payload=b"m" * 1448)
+        outs = worker.process(packet, Bound.INBOUND)
+        assert outs == [packet]
+        assert worker.stats.hairpinned == 1

@@ -1,0 +1,123 @@
+"""Full-system integration: everything at once on one simulated internet.
+
+Two b-networks with live iMTU exchange, a legacy host, and concurrent
+TCP (both merge and federated paths), UDP caravans, and an F-PMTUD
+probe — the closest thing to the paper's Figure 2 deployment running
+end to end.
+"""
+
+import pytest
+
+from repro.core import GatewayConfig, PXGateway, decode_caravan, is_caravan
+from repro.net import Topology
+from repro.pmtud import FPmtudDaemon, FPmtudProber
+from repro.sim import Netem
+from repro.tcpstack import TCPConnection, TCPListener
+from repro.workload import SealedDatagramCodec
+
+
+@pytest.fixture
+def world():
+    """Figure-2-style deployment:
+
+    host1 - gw1 ==(jumbo peering)== gw2 - host2
+                \\- core router - legacy host
+    """
+    topo = Topology(seed=99)
+    host1 = topo.add_host("host1")
+    host2 = topo.add_host("host2")
+    legacy = topo.add_host("legacy")
+    core = topo.add_router("core")
+    gw1 = PXGateway(topo.sim, "gw1",
+                    config=GatewayConfig(elephant_threshold_packets=2))
+    gw2 = PXGateway(topo.sim, "gw2",
+                    config=GatewayConfig(elephant_threshold_packets=2))
+    topo.add_node(gw1)
+    topo.add_node(gw2)
+
+    topo.link(host1, gw1, mtu=9000, bandwidth_bps=10e9, delay=50e-6)
+    topo.link(gw1, gw2, mtu=9000, bandwidth_bps=10e9, delay=2e-3)
+    topo.link(gw2, host2, mtu=9000, bandwidth_bps=10e9, delay=50e-6)
+    topo.link(gw1, core, mtu=1500, bandwidth_bps=10e9, delay=1e-3,
+              netem=Netem(delay=2e-3, loss=1e-5))
+    topo.link(core, legacy, mtu=1500, bandwidth_bps=10e9, delay=1e-3)
+    topo.build_routes()
+    gw1.mark_internal(gw1.interfaces[0])
+    gw2.mark_internal(gw2.interfaces[1])
+    gw1.enable_imtu_exchange(interval=0.05, hold_time=0.2)
+    gw2.enable_imtu_exchange(interval=0.05, hold_time=0.2)
+    topo.run(until=0.1)  # let the exchange converge
+    return topo, host1, host2, legacy, gw1, gw2
+
+
+def test_everything_at_once(world):
+    topo, host1, host2, legacy, gw1, gw2 = world
+
+    # 1. TCP download from the legacy Internet into b-network 1.
+    legacy_listener = TCPListener(legacy, 80, mss=1460)
+    download = TCPConnection(host1, 40000, legacy.ip, 80, mss=8960)
+    download.connect()
+
+    # 2. Federated TCP between the two b-networks (no translation).
+    b2b_listener = TCPListener(host2, 9100, mss=8960)
+    b2b = TCPConnection(host1, 40001, host2.ip, 9100, mss=8960)
+    b2b.connect()
+
+    # 3. A sealed UDP stream from legacy into b-network 1 (caravans).
+    sender_codec = SealedDatagramCodec(b"integration-key")
+    receiver_codec = SealedDatagramCodec(b"integration-key")
+    media = []
+
+    def on_media(packet, host):
+        for datagram in decode_caravan(packet):
+            opened = receiver_codec.open(datagram.payload)
+            if opened is not None:
+                media.append(opened)
+
+    host1.on_udp(4433, on_media)
+
+    # 4. F-PMTUD from host1 toward the legacy host.
+    FPmtudDaemon(legacy)
+    prober = FPmtudProber(host1)
+    pmtu_results = []
+    prober.probe(legacy.ip, 9000, pmtu_results.append)
+
+    topo.run(until=1.0)
+    legacy_listener.connections[0].send_bulk(1_500_000)
+    b2b.send_bulk(1_500_000)
+    for index in range(30):
+        legacy.send_udp(host1.ip, 4433, 4433, sender_codec.seal(bytes([index]) * 1000))
+    topo.run(until=12.0)
+
+    # TCP download completed through the merge path.
+    assert download.bytes_delivered == 1_500_000
+    assert gw1.stats.merged_packets > 0
+    # Federated connection ran untranslated jumbos.
+    assert b2b_listener.connections[0].bytes_delivered == 1_500_000
+    assert gw1.untranslated > 0
+    # All sealed datagrams arrived intact (caravan path).
+    assert len(media) == 30
+    assert receiver_codec.rejected == 0
+    # F-PMTUD resolved the legacy path's 1500 B bottleneck in one try.
+    assert len(pmtu_results) == 1
+    assert 1492 <= pmtu_results[0].pmtu <= 1500
+
+
+def test_peer_outage_falls_back_to_translation(world):
+    topo, host1, host2, legacy, gw1, gw2 = world
+    assert gw1.neighbor_imtu(gw1.interfaces[1]) == 9000
+    # gw2 is decommissioned: its speaker stops announcing.
+    gw2._imtu_speaker.stop()
+    topo.run(until=1.0)
+    assert gw1.neighbor_imtu(gw1.interfaces[1]) is None
+    # Traffic toward b-network 2 now goes through the split engine
+    # (safe even though the peer is gone from the control plane).
+    before = gw1.stats.split_segments
+    listener = TCPListener(host2, 9200, mss=8960)
+    conn = TCPConnection(host1, 40002, host2.ip, 9200, mss=8960)
+    conn.connect()
+    topo.run(until=1.5)
+    conn.send_bulk(500_000)
+    topo.run(until=4.0)
+    assert listener.connections[0].bytes_delivered == 500_000
+    assert gw1.stats.split_segments > before

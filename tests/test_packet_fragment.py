@@ -1,0 +1,157 @@
+"""Tests for IPv4 fragmentation and reassembly — the substrate F-PMTUD rides on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet import FragmentationNeeded, Packet, Reassembler, build_tcp, build_udp
+from repro.packet.fragment import fragment_packet
+
+
+def udp_of_total_len(total_len, **kwargs):
+    """A UDP packet whose IP total length is exactly *total_len*."""
+    payload_len = total_len - 20 - 8
+    payload = bytes(i % 251 for i in range(payload_len))
+    return build_udp("10.0.0.1", "10.0.0.2", 7, 9, payload=payload, **kwargs)
+
+
+class TestFragmentation:
+    def test_fits_returns_unchanged(self):
+        packet = udp_of_total_len(1500)
+        assert fragment_packet(packet, 1500) == [packet]
+
+    def test_df_raises(self):
+        packet = udp_of_total_len(1501, dont_fragment=True)
+        with pytest.raises(FragmentationNeeded) as info:
+            fragment_packet(packet, 1500)
+        assert info.value.mtu == 1500
+
+    def test_fragment_sizes_respect_mtu_and_alignment(self):
+        packet = udp_of_total_len(9000)
+        fragments = fragment_packet(packet, 1500)
+        for fragment in fragments[:-1]:
+            assert fragment.total_len <= 1500
+            # Non-final fragments carry payload in multiples of 8 bytes.
+            assert (fragment.total_len - 20) % 8 == 0
+        assert sum(f.total_len - 20 for f in fragments) == 9000 - 20
+
+    def test_largest_fragment_reveals_path_mtu(self):
+        # The F-PMTUD invariant: max fragment size == effective hop MTU (mod 8 alignment).
+        packet = udp_of_total_len(9000)
+        fragments = fragment_packet(packet, 1000)
+        largest = max(f.total_len for f in fragments)
+        assert 992 < largest <= 1000
+
+    def test_only_first_fragment_has_offset_zero(self):
+        fragments = fragment_packet(udp_of_total_len(4000), 1500)
+        assert fragments[0].ip.fragment_offset == 0
+        assert all(f.ip.fragment_offset > 0 for f in fragments[1:])
+        assert all(f.ip.more_fragments for f in fragments[:-1])
+        assert not fragments[-1].ip.more_fragments
+
+    def test_fragments_share_identification(self):
+        packet = udp_of_total_len(4000)
+        fragments = fragment_packet(packet, 1500)
+        assert {f.ip.identification for f in fragments} == {packet.ip.identification}
+
+    def test_refragmenting_a_fragment_preserves_absolute_offsets(self):
+        packet = udp_of_total_len(9000)
+        first_pass = fragment_packet(packet, 3000)
+        second_pass = fragment_packet(first_pass[1], 1500)
+        base = first_pass[1].ip.fragment_offset
+        assert second_pass[0].ip.fragment_offset == base
+        assert second_pass[-1].ip.more_fragments == first_pass[1].ip.more_fragments
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_packet(udp_of_total_len(1000), 24)
+
+    def test_tcp_packet_fragmentable_when_df_clear(self):
+        packet = build_tcp("1.1.1.1", "2.2.2.2", 1, 2, payload=b"z" * 3000, dont_fragment=False)
+        fragments = fragment_packet(packet, 1500)
+        assert len(fragments) == 3  # 20B IP + 20B TCP + 3000B payload = 3040
+
+
+class TestReassembly:
+    def test_roundtrip_through_fragmentation(self):
+        packet = udp_of_total_len(9000)
+        reassembler = Reassembler()
+        result = None
+        for fragment in fragment_packet(packet, 1500):
+            result = reassembler.add(fragment)
+        assert result is not None
+        assert result.is_udp
+        assert result.payload == packet.payload
+
+    def test_out_of_order_delivery(self):
+        packet = udp_of_total_len(6000)
+        fragments = fragment_packet(packet, 1500)
+        reassembler = Reassembler()
+        result = None
+        for fragment in reversed(fragments):
+            result = reassembler.add(fragment)
+        assert result is not None
+        assert result.payload == packet.payload
+
+    def test_incomplete_returns_none(self):
+        fragments = fragment_packet(udp_of_total_len(6000), 1500)
+        reassembler = Reassembler()
+        for fragment in fragments[:-1]:
+            assert reassembler.add(fragment) is None
+        assert len(reassembler) == 1
+
+    def test_duplicate_fragments_harmless(self):
+        fragments = fragment_packet(udp_of_total_len(4000), 1500)
+        reassembler = Reassembler()
+        reassembler.add(fragments[0])
+        reassembler.add(fragments[0])
+        result = None
+        for fragment in fragments[1:]:
+            result = reassembler.add(fragment)
+        assert result is not None
+        assert reassembler.last_fragment_sizes == sorted(
+            (f.total_len for f in fragments), reverse=True
+        )
+
+    def test_interleaved_datagrams(self):
+        a = udp_of_total_len(4000)
+        b = udp_of_total_len(4000)
+        frags_a = fragment_packet(a, 1500)
+        frags_b = fragment_packet(b, 1500)
+        reassembler = Reassembler()
+        done = []
+        for fa, fb in zip(frags_a, frags_b):
+            for fragment in (fa, fb):
+                result = reassembler.add(fragment)
+                if result:
+                    done.append(result)
+        assert len(done) == 2
+
+    def test_unfragmented_passthrough_records_size(self):
+        packet = udp_of_total_len(800)
+        reassembler = Reassembler()
+        assert reassembler.add(packet) is packet
+        assert reassembler.last_fragment_sizes == [800]
+
+    def test_timeout_expires_partial_state(self):
+        fragments = fragment_packet(udp_of_total_len(4000), 1500)
+        reassembler = Reassembler(timeout=5.0)
+        reassembler.add(fragments[0], now=0.0)
+        assert len(reassembler) == 1
+        reassembler.add(udp_of_total_len(100), now=10.0)  # triggers expiry sweep
+        assert len(reassembler) == 0
+
+    @settings(max_examples=30)
+    @given(
+        total_len=st.integers(min_value=1200, max_value=20000),
+        mtu=st.integers(min_value=576, max_value=9000),
+    )
+    def test_fragment_reassemble_identity_property(self, total_len, mtu):
+        packet = udp_of_total_len(total_len)
+        reassembler = Reassembler()
+        result = None
+        for fragment in fragment_packet(packet, mtu):
+            result = reassembler.add(fragment)
+        assert result is not None
+        assert result.payload == packet.payload
+        assert result.total_len == packet.total_len

@@ -1,0 +1,67 @@
+"""Fuzz the wire parsers: hostile bytes must fail cleanly (ValueError),
+never with an unhandled struct/index error — middleboxes parse
+attacker-controlled input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import decode_caravan
+from repro.packet import Packet, build_udp
+from repro.packet.gtpu import GTPUHeader
+from repro.packet.ip import IPv4Header
+from repro.packet.tcp import TCPHeader
+from repro.packet.udp import UDPHeader
+
+
+@settings(max_examples=200)
+@given(data=st.binary(max_size=256))
+def test_packet_from_bytes_fails_cleanly(data):
+    try:
+        packet = Packet.from_bytes(data, verify=False)
+    except ValueError:
+        return
+    assert isinstance(packet, Packet)
+
+
+@settings(max_examples=200)
+@given(data=st.binary(max_size=128))
+def test_header_parsers_fail_cleanly(data):
+    for parser in (IPv4Header.unpack, TCPHeader.unpack, UDPHeader.unpack,
+                   GTPUHeader.unpack):
+        try:
+            parser(data)
+        except ValueError:
+            pass
+
+
+@settings(max_examples=150)
+@given(mutation=st.binary(min_size=1, max_size=64),
+       offset=st.integers(min_value=0, max_value=200))
+def test_corrupted_caravan_fails_cleanly(mutation, offset):
+    from repro.core import encode_caravan
+
+    packets = [build_udp("1.1.1.1", "2.2.2.2", 1, 2, payload=b"x" * 100, ip_id=i)
+               for i in range(3)]
+    caravan = encode_caravan(packets)
+    body = bytearray(caravan.payload)
+    start = min(offset, max(0, len(body) - len(mutation)))
+    body[start : start + len(mutation)] = mutation
+    caravan.payload = bytes(body)
+    try:
+        datagrams = decode_caravan(caravan)
+    except ValueError:
+        return
+    # If it still parses, every piece must be internally consistent.
+    assert all(d.udp.length == 8 + len(d.payload) for d in datagrams)
+
+
+@settings(max_examples=100)
+@given(truncate_to=st.integers(min_value=0, max_value=60))
+def test_truncated_real_packet_fails_cleanly(truncate_to):
+    wire = build_udp("10.0.0.1", "10.0.0.2", 5, 6, payload=b"hello world").to_bytes()
+    truncated = wire[:truncate_to]
+    try:
+        Packet.from_bytes(truncated)
+    except ValueError:
+        pass

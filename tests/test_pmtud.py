@@ -1,0 +1,198 @@
+"""Tests for F-PMTUD, classical PMTUD, PLPMTUD, and the fragment survey."""
+
+import pytest
+
+from repro.net import Topology
+from repro.pmtud import (
+    ClassicalPmtud,
+    FPmtudDaemon,
+    FPmtudProber,
+    FragmentSurvey,
+    Plpmtud,
+    ProbeEchoDaemon,
+    SurveyRates,
+    probe_path_with_fragments,
+)
+
+
+def path_topology(mtus, blackhole=False, rtt_delay=0.005):
+    """client - r1 - r2 - ... - server with per-segment MTUs.
+
+    ``mtus`` lists the MTU of each link left to right.  ``rtt_delay``
+    is the per-link propagation delay.
+    """
+    topo = Topology()
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    routers = [
+        topo.add_router(f"r{i}", icmp_blackhole=blackhole)
+        for i in range(len(mtus) - 1)
+    ]
+    chain = [client] + routers + [server]
+    for index, mtu in enumerate(mtus):
+        per_link = rtt_delay / len(mtus)
+        topo.link(chain[index], chain[index + 1], mtu=mtu, delay=per_link)
+    topo.build_routes()
+    return topo, client, server
+
+
+class TestFPmtud:
+    def run_probe(self, mtus, probe_size=9000):
+        topo, client, server = path_topology(mtus)
+        FPmtudDaemon(server)
+        prober = FPmtudProber(client)
+        results = []
+        prober.probe(server.ip, probe_size, results.append)
+        topo.run(until=10.0)
+        assert len(results) == 1
+        return results[0]
+
+    def test_unfragmented_path_reports_probe_size(self):
+        result = self.run_probe([9000, 9000, 9000])
+        assert result.pmtu == 9000
+        assert not result.was_fragmented
+
+    def test_bottleneck_detected_via_fragment_size(self):
+        result = self.run_probe([9000, 1500, 9000])
+        assert result.was_fragmented
+        # Fragment payloads are 8-byte aligned: within 8 B of the true MTU.
+        assert 1492 <= result.pmtu <= 1500
+
+    def test_smallest_hop_wins(self):
+        result = self.run_probe([9000, 4000, 1000, 2000])
+        assert 992 <= result.pmtu <= 1000
+
+    def test_single_rtt_discovery(self):
+        result = self.run_probe([9000, 1500, 9000])
+        # One-way delay is 5 ms in this topology -> one ~10 ms round trip.
+        assert result.elapsed < 0.011
+
+    def test_works_through_icmp_blackhole(self):
+        # F-PMTUD never needs ICMP, so blackholes are irrelevant.
+        topo, client, server = path_topology([9000, 1500, 9000], blackhole=True)
+        FPmtudDaemon(server)
+        prober = FPmtudProber(client)
+        results = []
+        prober.probe(server.ip, 9000, results.append)
+        topo.run(until=10.0)
+        assert results and 1492 <= results[0].pmtu <= 1500
+
+    def test_timeout_callback_on_dead_path(self):
+        topo, client, server = path_topology([9000, 1500])
+        # No daemon on the server: the report never comes.
+        prober = FPmtudProber(client)
+        outcomes = []
+        prober.probe(server.ip, 9000, outcomes.append, timeout=1.0,
+                     on_timeout=lambda: outcomes.append("timeout"))
+        topo.run(until=5.0)
+        assert outcomes == ["timeout"]
+
+
+class TestClassicalPmtud:
+    def test_converges_with_icmp(self):
+        topo, client, server = path_topology([9000, 1500, 9000])
+        ProbeEchoDaemon(server)
+        pmtud = ClassicalPmtud(client)
+        results = []
+        pmtud.discover(server.ip, 9000, results.append)
+        topo.run(until=60.0)
+        assert len(results) == 1
+        assert results[0].pmtu == 1500
+        assert results[0].icmp_received >= 1
+        assert not results[0].blackholed
+
+    def test_multi_bottleneck_steps_down(self):
+        topo, client, server = path_topology([9000, 4000, 1500, 9000])
+        ProbeEchoDaemon(server)
+        pmtud = ClassicalPmtud(client)
+        results = []
+        pmtud.discover(server.ip, 9000, results.append)
+        topo.run(until=60.0)
+        assert results[0].pmtu == 1500
+        assert results[0].icmp_received >= 2
+
+    def test_blackhole_fails_discovery(self):
+        topo, client, server = path_topology([9000, 1500, 9000], blackhole=True)
+        ProbeEchoDaemon(server)
+        pmtud = ClassicalPmtud(client)
+        results = []
+        pmtud.discover(server.ip, 9000, results.append)
+        topo.run(until=60.0)
+        assert results[0].blackholed
+        assert results[0].pmtu is None
+
+    def test_uniform_path_one_probe(self):
+        topo, client, server = path_topology([1500, 1500])
+        ProbeEchoDaemon(server)
+        pmtud = ClassicalPmtud(client)
+        results = []
+        pmtud.discover(server.ip, 1500, results.append)
+        topo.run(until=10.0)
+        assert results[0].pmtu == 1500
+        assert results[0].probes_sent == 1
+
+
+class TestPlpmtud:
+    def run_search(self, mtus, local_mtu=9000, blackhole=True):
+        # Blackhole routers everywhere: PLPMTUD must not rely on ICMP.
+        topo, client, server = path_topology(mtus, blackhole=blackhole)
+        ProbeEchoDaemon(server)
+        search = Plpmtud(client)
+        results = []
+        search.discover(server.ip, local_mtu, results.append)
+        topo.run(until=300.0)
+        assert len(results) == 1
+        return results[0]
+
+    def test_finds_pmtu_without_icmp(self):
+        result = self.run_search([9000, 1500, 9000])
+        assert 1492 <= result.pmtu <= 1500
+
+    def test_full_mtu_path_fast_path(self):
+        result = self.run_search([9000, 9000, 9000])
+        assert result.pmtu == 9000
+        assert result.timeouts == 0
+
+    def test_needs_many_probes_and_timeouts(self):
+        result = self.run_search([9000, 1500, 9000])
+        assert result.probes_sent >= 4
+        assert result.timeouts >= 1
+        # Each timed-out size costs seconds: discovery is slow.
+        assert result.elapsed > 1.0
+
+    def test_much_slower_than_fpmtud(self):
+        plp = self.run_search([9000, 1000, 9000])
+        topo, client, server = path_topology([9000, 1000, 9000])
+        FPmtudDaemon(server)
+        prober = FPmtudProber(client)
+        fast = []
+        prober.probe(server.ip, 9000, fast.append)
+        topo.run(until=10.0)
+        assert fast[0].elapsed * 50 < plp.elapsed
+        # And they agree on the PMTU (modulo fragment alignment).
+        assert abs(fast[0].pmtu - plp.pmtu) <= 8
+
+
+class TestSurvey:
+    def test_rates_match_paper(self):
+        survey = FragmentSurvey()
+        result = survey.run()
+        assert result.population == 389_428
+        assert result.fragment_success_rate > 0.9995
+        failures = result.filtered_last_hop + result.unresponsive
+        assert 30 <= failures <= 90  # paper: 59
+
+    def test_icmp_rate_matches_2018_study(self):
+        result = FragmentSurvey().run(50_000)
+        assert 0.46 < result.icmp_success_rate < 0.56
+
+    def test_packet_level_filtering_mechanism(self):
+        assert probe_path_with_fragments(filtering_last_hop=False)
+        assert not probe_path_with_fragments(filtering_last_hop=True)
+
+    def test_custom_rates(self):
+        rates = SurveyRates(fragment_filter=0.5, unresponsive_to_fragments=0.0,
+                            icmp_blackhole=1.0)
+        result = FragmentSurvey(rates).run(10_000)
+        assert 0.4 < result.filtered_last_hop / 10_000 < 0.6
+        assert result.icmp_pmtud_ok == 0

@@ -1,0 +1,122 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0  # clock advanced to the boundary
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(0.5, handle.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for index in range(10):
+        sim.schedule(float(index), fired.append, index)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    handle.cancel()
+    assert sim.pending() == 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
+def test_execution_order_is_sorted_property(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

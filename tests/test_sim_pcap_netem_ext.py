@@ -1,0 +1,169 @@
+"""Tests for pcap export, netem extensions, and router ICMP rate limiting."""
+
+import io
+import random
+import struct
+
+import pytest
+
+from repro.net import Topology
+from repro.packet import Packet, build_udp
+from repro.sim import GilbertElliott, Netem
+from repro.sim.pcap import InterfaceTap, PcapWriter
+
+
+class TestPcapWriter:
+    def test_global_header(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        data = buffer.getvalue()
+        magic, major, minor, _tz, _sig, snaplen, linktype = struct.unpack(
+            "!IHHiIII", data[:24]
+        )
+        assert magic == 0xA1B2C3D4
+        assert (major, minor) == (2, 4)
+        assert linktype == 101  # raw IP
+
+    def test_packet_record_roundtrip(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        packet = build_udp("10.0.0.1", "10.0.0.2", 1, 2, payload=b"capture me")
+        writer.write(packet, timestamp=1.5)
+        data = buffer.getvalue()[24:]
+        sec, usec, incl, orig = struct.unpack("!IIII", data[:16])
+        assert (sec, usec) == (1, 500000)
+        assert incl == orig == packet.total_len
+        # The captured bytes parse back into the same packet.
+        parsed = Packet.from_bytes(data[16 : 16 + incl])
+        assert parsed.payload == b"capture me"
+
+    def test_microsecond_rounding_carry(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(build_udp("1.1.1.1", "2.2.2.2", 1, 2), timestamp=2.9999999)
+        sec, usec, _i, _o = struct.unpack("!IIII", buffer.getvalue()[24:40])
+        assert sec == 3 and usec == 0
+
+    def test_interface_tap_captures_both_directions(self):
+        topo = Topology()
+        a = topo.add_host("a")
+        b = topo.add_host("b")
+        topo.link(a, b)
+        topo.build_routes()
+        b.on_udp(9, lambda packet, host: host.send_udp(packet.ip.src, 9, 1, b"pong"))
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        tap = InterfaceTap(a.interfaces[0], writer)
+        a.send_udp(b.ip, 1, 9, b"ping")
+        topo.run()
+        assert writer.packets_written == 2  # ping out, pong in
+        tap.detach()
+        a.send_udp(b.ip, 1, 9, b"after detach")
+        topo.run()
+        assert writer.packets_written == 2
+
+    def test_tap_direction_filter(self):
+        topo = Topology()
+        a = topo.add_host("a")
+        b = topo.add_host("b")
+        topo.link(a, b)
+        topo.build_routes()
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        InterfaceTap(a.interfaces[0], writer, direction="tx")
+        a.send_udp(b.ip, 1, 9, b"only tx")
+        topo.run()
+        assert writer.packets_written == 1
+        with pytest.raises(ValueError):
+            InterfaceTap(a.interfaces[0], writer, direction="sideways")
+
+
+class TestNetemExtensions:
+    def test_reorder_delays_some_packets(self):
+        netem = Netem(reorder=1.0, reorder_extra=0.01)
+        rng = random.Random(1)
+        drop, extra = netem.impair(rng)
+        assert not drop
+        assert extra >= 0.01
+
+    def test_gilbert_elliott_burstiness(self):
+        channel = GilbertElliott(p_good_to_bad=0.01, p_bad_to_good=0.2,
+                                 loss_good=0.0, loss_bad=1.0)
+        rng = random.Random(3)
+        drops = [channel.drop(rng) for _ in range(20000)]
+        # Losses happen, and they cluster: count runs of consecutive drops.
+        assert 0.01 < sum(drops) / len(drops) < 0.15
+        runs = []
+        current = 0
+        for dropped in drops:
+            if dropped:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert max(runs) >= 3  # bursts, not isolated drops
+
+    def test_stationary_loss_rate(self):
+        channel = GilbertElliott(p_good_to_bad=0.01, p_bad_to_good=0.99,
+                                 loss_good=0.0, loss_bad=0.5)
+        expected = channel.stationary_loss_rate
+        rng = random.Random(5)
+        measured = sum(channel.drop(rng) for _ in range(200_000)) / 200_000
+        assert measured == pytest.approx(expected, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            Netem(reorder=2.0)
+
+    def test_burst_loss_in_netem(self):
+        netem = Netem(burst_loss=GilbertElliott(p_good_to_bad=1.0, p_bad_to_good=0.0,
+                                                loss_bad=1.0))
+        rng = random.Random(0)
+        results = [netem.impair(rng)[0] for _ in range(10)]
+        assert all(results)  # permanently bad channel drops everything
+
+
+class TestIcmpRateLimit:
+    def make_path(self, **router_kwargs):
+        topo = Topology()
+        client = topo.add_host("client")
+        server = topo.add_host("server")
+        router = topo.add_router("router", **router_kwargs)
+        topo.link(client, router, mtu=9000)
+        topo.link(router, server, mtu=1500)
+        topo.build_routes()
+        return topo, client, server, router
+
+    def test_unlimited_router_answers_every_df_probe(self):
+        topo, client, server, router = self.make_path()
+        errors = []
+        client.on_icmp(lambda packet, message: errors.append(message))
+        for _ in range(10):
+            client.send_udp(server.ip, 1, 9, b"z" * 8000, dont_fragment=True)
+        topo.run(until=1.0)
+        assert len(errors) == 10
+
+    def test_rate_limited_router_suppresses(self):
+        topo, client, server, router = self.make_path(icmp_rate_limit=2.0)
+        errors = []
+        client.on_icmp(lambda packet, message: errors.append(message))
+        for _ in range(10):  # all within far less than a second
+            client.send_udp(server.ip, 1, 9, b"z" * 8000, dont_fragment=True)
+        topo.run(until=0.1)
+        assert len(errors) == 1
+        assert router.icmp_suppressed == 9
+
+    def test_limit_recovers_over_time(self):
+        topo, client, server, router = self.make_path(icmp_rate_limit=2.0)
+        errors = []
+        client.on_icmp(lambda packet, message: errors.append(message))
+
+        def probe():
+            client.send_udp(server.ip, 1, 9, b"z" * 8000, dont_fragment=True)
+
+        for index in range(4):
+            topo.sim.schedule(index * 1.0, probe)
+        topo.run(until=10.0)
+        assert len(errors) == 4  # 1/s is under the 2/s limit

@@ -1,0 +1,91 @@
+"""Tests for the token bucket and UPF MBR enforcement."""
+
+import pytest
+
+from repro.packet import build_udp, str_to_ip
+from repro.upf import TokenBucket, Upf
+
+N3 = str_to_ip("10.100.0.1")
+GNB = str_to_ip("10.100.0.2")
+UE = str_to_ip("172.16.0.10")
+DN = str_to_ip("93.184.216.34")
+
+
+class TestTokenBucket:
+    def test_allows_within_burst(self):
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=1000)
+        assert bucket.allow(1000, now=0.0)
+
+    def test_denies_beyond_burst(self):
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=1000)
+        bucket.allow(1000, now=0.0)
+        assert not bucket.allow(1, now=0.0)
+        assert bucket.denied == 1
+
+    def test_refills_at_rate(self):
+        # 8000 bps = 1000 B/s.
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=1000)
+        bucket.allow(1000, now=0.0)
+        assert not bucket.allow(500, now=0.1)  # only 100 B refilled
+        assert bucket.allow(500, now=0.5)  # 0.1->0.5 adds 400 more
+
+    def test_tokens_capped_at_burst(self):
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=1000)
+        bucket.allow(100, now=0.0)
+        # A long idle period cannot overfill the bucket.
+        assert not bucket.allow(1001, now=100.0)
+        assert bucket.allow(1000, now=100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=100, burst_bytes=0)
+
+
+class TestUpfMbr:
+    def make_upf(self, mbr):
+        upf = Upf(n3_address=N3)
+        upf.sessions.create_session(
+            seid=1, ue_ip=UE, uplink_teid=5000, gnb_teid=6000, gnb_ip=GNB,
+            mbr_bps=mbr,
+        )
+        return upf
+
+    def test_unlimited_session_never_polices(self):
+        upf = self.make_upf(mbr=None)
+        for index in range(50):
+            out = upf.process(
+                build_udp(DN, UE, 80, 4000, payload=b"\0" * 1000), now=index * 1e-6
+            )
+            assert len(out) == 1
+        assert upf.stats.dropped_mbr == 0
+
+    def test_mbr_polices_burst(self):
+        # 80 kbps MBR = 10 kB/s; a burst of 100 x 1 kB packets at t=0
+        # exceeds the default 64 kB bucket after ~64 packets.
+        upf = self.make_upf(mbr=80_000)
+        delivered = 0
+        for _ in range(100):
+            delivered += len(upf.process(
+                build_udp(DN, UE, 80, 4000, payload=b"\0" * 996), now=0.0
+            ))
+        assert delivered < 100
+        assert upf.stats.dropped_mbr == 100 - delivered
+
+    def test_mbr_sustained_rate_enforced(self):
+        # Offer 2x the MBR for 10 seconds; roughly half passes.
+        upf = self.make_upf(mbr=800_000)  # 100 kB/s
+        delivered_bytes = 0
+        packet_bytes = 1024
+        interval = packet_bytes / 200_000  # 200 kB/s offered
+        count = int(10.0 / interval)
+        for index in range(count):
+            out = upf.process(
+                build_udp(DN, UE, 80, 4000, payload=b"\0" * (packet_bytes - 28)),
+                now=index * interval,
+            )
+            if out:
+                delivered_bytes += packet_bytes
+        achieved_bps = delivered_bytes * 8 / 10.0
+        assert achieved_bps == pytest.approx(800_000, rel=0.15)
