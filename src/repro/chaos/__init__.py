@@ -1,0 +1,60 @@
+"""Deterministic chaos testing for the PX datapath (guide: `docs/CHAOS.md`).
+
+Three layers:
+
+* :mod:`repro.chaos.faults` — the :class:`FaultPlan` DSL: seeded,
+  schedule-driven drop/duplicate/reorder/corrupt/truncate/delay faults
+  on links, plus gateway-level stalls, eviction storms, and on-NIC
+  memory exhaustion;
+* :mod:`repro.chaos.oracle` — the :class:`InvariantOracle`: end-to-end
+  invariants (TCP stream transparency, datagram-boundary preservation,
+  MSS/MTU discipline, counter conservation, F-PMTUD convergence)
+  checked against taps at sender, gateway ingress/egress, receiver;
+* :mod:`repro.chaos.scenarios` / :mod:`repro.chaos.shrink` — seeded
+  scenario execution (``run_scenario(profile, seed)`` is a pure
+  function) and minimization of failing schedules.
+"""
+
+from .faults import (
+    Fault,
+    FaultLog,
+    FaultPlan,
+    GatewayFault,
+    LinkInjector,
+    Match,
+    apply_gateway_faults,
+)
+from .oracle import ChaosTap, InvariantOracle, summarize_packet, trace_digest
+from .scenarios import (
+    PROFILES,
+    ChaosWorld,
+    ScenarioResult,
+    build_plan,
+    build_world,
+    corpus,
+    run_scenario,
+)
+from .shrink import ShrinkResult, shrink_plan
+
+__all__ = [
+    "Match",
+    "Fault",
+    "GatewayFault",
+    "FaultPlan",
+    "FaultLog",
+    "LinkInjector",
+    "apply_gateway_faults",
+    "ChaosTap",
+    "InvariantOracle",
+    "summarize_packet",
+    "trace_digest",
+    "PROFILES",
+    "ChaosWorld",
+    "ScenarioResult",
+    "build_world",
+    "build_plan",
+    "run_scenario",
+    "corpus",
+    "shrink_plan",
+    "ShrinkResult",
+]

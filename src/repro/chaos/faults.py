@@ -1,0 +1,328 @@
+"""The FaultPlan DSL: seeded, schedule-driven fault injection.
+
+Netem-style impairment is *probabilistic*: useful for load realism,
+useless for pinpointing a failing interleaving.  A :class:`FaultPlan`
+is the complement — a fully deterministic schedule of faults ("drop the
+3rd inbound TCP data packet", "truncate the 2nd caravan", "stall the
+gateway at t=4 ms for 2 ms") that composes with
+:class:`repro.sim.netem.Netem` on the same link but is replayable from
+a single seed.  Every failure a chaos run finds can be reproduced
+exactly and shrunk to a minimal schedule (:mod:`repro.chaos.shrink`).
+
+Two fault families:
+
+* **Link faults** (:class:`Fault`) act on the Nth..Nth+count-1 packets
+  matching a :class:`Match` predicate as they cross one link:
+  drop / duplicate / reorder / corrupt / truncate / delay.
+* **Gateway faults** (:class:`GatewayFault`) hit the PXGW itself at an
+  absolute time: merge-context eviction storms, on-NIC memory
+  exhaustion (forcing ``hdo_fallbacks``), and worker stalls.
+
+Semantics chosen to match real networks:
+
+* ``corrupt`` on TCP is discarded in flight (the receiver's checksum
+  would reject it) — deterministic loss the stack must recover from;
+  ``corrupt`` on UDP flips a payload byte and delivers it, which the
+  application layer (sealed datagrams) must detect;
+* ``truncate`` shortens the payload and fixes up the IP/UDP lengths —
+  the datagram-boundary violation caravans must never *cause*;
+* ``reorder`` holds one packet back long enough for successors to
+  overtake it, which forces the merge engines' flush-on-reorder path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.caravan import caravan_inner_count
+from ..packet import IPProto, Packet
+
+__all__ = [
+    "Match",
+    "Fault",
+    "GatewayFault",
+    "FaultPlan",
+    "LinkInjector",
+    "FaultLog",
+    "apply_gateway_faults",
+]
+
+#: Valid link-fault actions.
+ACTIONS = ("drop", "duplicate", "reorder", "corrupt", "truncate", "delay")
+#: Valid gateway-fault kinds.
+GATEWAY_KINDS = ("stall", "eviction_storm", "nic_pressure")
+
+
+@dataclass(frozen=True)
+class Match:
+    """A flow predicate over packets crossing a link."""
+
+    protocol: Optional[int] = None  # IPProto.TCP / IPProto.UDP / None=any
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    #: Only packets carrying at least this much L4 payload (1 excludes
+    #: pure ACKs; handshake/control packets stay untouched by default).
+    min_payload: int = 0
+    #: Match IP fragments too (default: whole packets only).
+    fragments: bool = False
+
+    def matches(self, packet: Packet) -> bool:
+        if packet.is_fragment:
+            return self.fragments
+        if self.protocol is not None and packet.ip.protocol != self.protocol:
+            return False
+        ports: Tuple[Optional[int], Optional[int]] = (None, None)
+        if packet.is_tcp:
+            ports = (packet.tcp.src_port, packet.tcp.dst_port)
+        elif packet.is_udp:
+            ports = (packet.udp.src_port, packet.udp.dst_port)
+        if self.src_port is not None and ports[0] != self.src_port:
+            return False
+        if self.dst_port is not None and ports[1] != self.dst_port:
+            return False
+        if packet.l4_payload_len < self.min_payload:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One schedule entry: an action on specific matching packets.
+
+    The fault fires on match indices ``nth .. nth+count-1`` (1-based,
+    counted per link over packets satisfying :attr:`match`), so every
+    fault is exhausted after ``count`` hits and the run always reaches
+    a fault-free steady state.
+    """
+
+    action: str
+    link: str  # role name of the link this fault attaches to
+    match: Match = field(default_factory=Match)
+    nth: int = 1
+    count: int = 1
+    #: Hold-back for reorder/delay; offset between duplicate copies.
+    delay: float = 2e-3
+    #: Payload bytes to keep when truncating.
+    truncate_to: int = 8
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count are 1-based and positive")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    def describe(self) -> str:
+        span = f"#{self.nth}" if self.count == 1 else f"#{self.nth}-{self.nth + self.count - 1}"
+        return f"{self.action}@{self.link}[{span}]"
+
+
+@dataclass(frozen=True)
+class GatewayFault:
+    """A gateway-level fault applied at an absolute simulation time."""
+
+    kind: str
+    at: float
+    duration: float = 2e-3
+    #: For ``eviction_storm``: merge contexts allowed during the storm.
+    contexts: int = 1
+    #: For ``nic_pressure``: on-NIC bytes left during the squeeze.
+    nic_memory_bytes: int = 0
+
+    def __post_init__(self):
+        if self.kind not in GATEWAY_KINDS:
+            raise ValueError(f"unknown gateway fault {self.kind!r}")
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("gateway faults need at >= 0 and duration > 0")
+
+    def describe(self) -> str:
+        return f"{self.kind}@t={self.at:g}s/{self.duration:g}s"
+
+
+@dataclass
+class FaultLog:
+    """What an injector actually did — the oracle's loss/dup budget."""
+
+    entries: List[Tuple[float, str, str]] = field(default_factory=list)
+    #: UDP datagrams removed from the world (drops + TCP-style corrupt
+    #: discards), counting a caravan as its inner datagrams.
+    udp_datagrams_lost: int = 0
+    #: Extra UDP datagram copies injected by duplication.
+    udp_datagrams_duplicated: int = 0
+    #: UDP datagrams delivered with mutated bytes (corrupt/truncate):
+    #: each shows up as one missing original plus one unmatched arrival.
+    udp_datagrams_mutated: int = 0
+    tcp_packets_dropped: int = 0
+    faults_fired: int = 0
+
+    def note(self, now: float, action: str, packet: Packet) -> None:
+        self.faults_fired += 1
+        self.entries.append((now, action, repr(packet)))
+
+
+class LinkInjector:
+    """Deterministic per-link fault applicator (Link.injector protocol).
+
+    Keeps one match counter per fault, so the schedule depends only on
+    the packet order the deterministic simulator produces.
+    """
+
+    def __init__(self, faults: List[Fault], log: Optional[FaultLog] = None):
+        self.faults = list(faults)
+        self.log = log if log is not None else FaultLog()
+        self._seen = [0] * len(self.faults)
+
+    # ------------------------------------------------------------------
+    def apply(self, packet: Packet, now: float) -> List[Tuple[Packet, float]]:
+        """Decide the fate of one packet; called by the Link."""
+        for index, fault in enumerate(self.faults):
+            if not fault.match.matches(packet):
+                continue
+            self._seen[index] += 1
+            position = self._seen[index]
+            if position < fault.nth or position >= fault.nth + fault.count:
+                continue
+            return self._fire(fault, packet, now)
+        return [(packet, 0.0)]
+
+    # ------------------------------------------------------------------
+    def _fire(self, fault: Fault, packet: Packet, now: float) -> List[Tuple[Packet, float]]:
+        log = self.log
+        log.note(now, fault.describe(), packet)
+        if fault.action == "drop":
+            self._account_removed(packet)
+            return []
+        if fault.action == "duplicate":
+            if packet.is_udp:
+                log.udp_datagrams_duplicated += caravan_inner_count(packet)
+            return [(packet, 0.0), (packet.copy(), fault.delay)]
+        if fault.action == "reorder" or fault.action == "delay":
+            return [(packet, fault.delay)]
+        if fault.action == "corrupt":
+            if packet.is_udp and packet.payload:
+                mutated = packet.copy()
+                flipped = bytearray(mutated.payload)
+                flipped[0] ^= 0xFF
+                mutated.payload = bytes(flipped)
+                mutated.meta["chaos_corrupted"] = True
+                log.udp_datagrams_mutated += caravan_inner_count(packet)
+                return [(mutated, 0.0)]
+            # TCP (or empty payload): the receiver checksum would reject
+            # it, so corruption manifests as in-flight loss.
+            self._account_removed(packet)
+            return []
+        if fault.action == "truncate":
+            return [(self._truncate(fault, packet), 0.0)]
+        raise AssertionError(f"unhandled action {fault.action}")  # pragma: no cover
+
+    def _account_removed(self, packet: Packet) -> None:
+        if packet.is_udp:
+            self.log.udp_datagrams_lost += caravan_inner_count(packet)
+        elif packet.is_tcp:
+            self.log.tcp_packets_dropped += 1
+        elif packet.is_fragment:
+            # Conservatively assume the fragment carried (part of) one
+            # datagram; losing any fragment loses the whole datagram.
+            self.log.udp_datagrams_lost += 1
+
+    def _truncate(self, fault: Fault, packet: Packet) -> Packet:
+        keep = min(fault.truncate_to, len(packet.payload))
+        if keep == len(packet.payload):
+            return packet
+        # Account *before* mutating: the original datagrams vanish.
+        if packet.is_udp:
+            self.log.udp_datagrams_mutated += caravan_inner_count(packet)
+        elif packet.is_fragment:
+            self.log.udp_datagrams_lost += 1
+        mutated = packet.copy()
+        mutated.payload = packet.payload[:keep]
+        mutated.meta["chaos_truncated"] = True
+        if mutated.is_udp:
+            mutated.udp.length = 8 + keep
+        mutated.ip.total_length = (
+            mutated.ip.header_len + mutated.l4_header_len + keep
+        )
+        return mutated
+
+
+@dataclass
+class FaultPlan:
+    """A complete, replayable fault schedule for one scenario."""
+
+    link_faults: List[Fault] = field(default_factory=list)
+    gateway_faults: List[GatewayFault] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.link_faults) + len(self.gateway_faults)
+
+    def describe(self) -> str:
+        parts = [fault.describe() for fault in self.link_faults]
+        parts += [fault.describe() for fault in self.gateway_faults]
+        return " + ".join(parts) if parts else "(no faults)"
+
+    def injectors(self, log: Optional[FaultLog] = None) -> "Dict[str, LinkInjector]":
+        """Fresh per-link injectors (counters reset), sharing one log."""
+        log = log if log is not None else FaultLog()
+        by_link: Dict[str, List[Fault]] = {}
+        for fault in self.link_faults:
+            by_link.setdefault(fault.link, []).append(fault)
+        return {link: LinkInjector(faults, log) for link, faults in by_link.items()}
+
+    def without(self, index: int) -> "FaultPlan":
+        """A copy with the index-th fault (links first, then gateway) removed."""
+        links = list(self.link_faults)
+        gateways = list(self.gateway_faults)
+        if index < len(links):
+            del links[index]
+        else:
+            del gateways[index - len(links)]
+        return replace(self, link_faults=links, gateway_faults=gateways)
+
+    def subset(self, keep: List[int]) -> "FaultPlan":
+        """A copy retaining only the faults at the given indices."""
+        merged = list(self.link_faults) + list(self.gateway_faults)
+        chosen = [merged[i] for i in sorted(set(keep)) if 0 <= i < len(merged)]
+        return FaultPlan(
+            link_faults=[f for f in chosen if isinstance(f, Fault)],
+            gateway_faults=[f for f in chosen if isinstance(f, GatewayFault)],
+        )
+
+
+def apply_gateway_faults(plan: FaultPlan, gateway) -> None:
+    """Schedule the plan's gateway faults onto *gateway*'s simulator."""
+    sim = gateway.sim
+    worker = gateway.worker
+
+    def start_eviction_storm(fault: GatewayFault) -> None:
+        saved = (worker.merge.max_contexts, worker.caravan_merge.max_contexts)
+        worker.merge.max_contexts = fault.contexts
+        worker.caravan_merge.max_contexts = fault.contexts
+
+        def restore():
+            worker.merge.max_contexts, worker.caravan_merge.max_contexts = saved
+
+        sim.schedule(fault.duration, restore)
+
+    def start_nic_pressure(fault: GatewayFault) -> None:
+        saved = worker.nic_memory_bytes
+        worker.nic_memory_bytes = fault.nic_memory_bytes
+
+        def restore():
+            worker.nic_memory_bytes = saved
+
+        sim.schedule(fault.duration, restore)
+
+    for fault in plan.gateway_faults:
+        if fault.kind == "stall":
+            sim.schedule_at(fault.at, gateway.stall, fault.duration)
+        elif fault.kind == "eviction_storm":
+            sim.schedule_at(fault.at, start_eviction_storm, fault)
+        elif fault.kind == "nic_pressure":
+            sim.schedule_at(fault.at, start_nic_pressure, fault)
+
+
+# Re-export for Match construction convenience.
+TCP = IPProto.TCP
+UDP = IPProto.UDP

@@ -1,0 +1,337 @@
+"""The invariant oracle: end-to-end correctness checks under faults.
+
+The oracle observes packets at four points — sender TX, gateway
+ingress, gateway egress, receiver RX — via link taps
+(:class:`ChaosTap`), plus the application-level send/receive records a
+scenario keeps, and asserts the properties an MTU-translating gateway
+must never violate *no matter what the network does*:
+
+1. **TCP byte-stream transparency** — every connection delivers exactly
+   the bytes the sender queued, in order (the stack only advances
+   ``bytes_delivered`` in sequence, so count equality == stream
+   equality in the zero-filled-payload model).
+2. **Datagram-boundary preservation** — caravans never invent, lose,
+   or re-slice a datagram beyond what the injected faults account for.
+3. **MSS discipline** — no TCP segment on an external link ever
+   exceeds the clamped MSS; nothing on any link exceeds its MTU.
+4. **Counter conservation** — ``GatewayStats`` balances: payload in ==
+   payload out + still-buffered (+ discarded-as-malformed for UDP).
+5. **F-PMTUD convergence** — the prober's estimate lands within the
+   8-byte fragment-alignment band below the true path minimum.
+
+Canonical packet summaries *exclude* ``ip.identification``: the IP-ID
+allocator is process-global, so absolute IDs differ between runs in one
+process even though behaviour (which keys on consecutive-ID deltas) is
+identical.  Everything else goes into the trace digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..packet import Packet
+
+__all__ = [
+    "ChaosTap",
+    "InvariantOracle",
+    "summarize_packet",
+    "trace_digest",
+]
+
+
+def summarize_packet(packet: Packet) -> tuple:
+    """A canonical, run-stable description of one packet.
+
+    Deliberately excludes ``ip.identification`` (process-global counter)
+    and absolute payload bytes of caravans (which embed IP IDs); keeps
+    everything behaviourally relevant: addressing, flags, lengths, TCP
+    sequence space, and chaos mutation marks.
+    """
+    ip = packet.ip
+    base = (
+        ip.protocol,
+        ip.src,
+        ip.dst,
+        packet.total_len,
+        ip.tos,
+        int(ip.dont_fragment),
+        int(ip.more_fragments),
+        ip.fragment_offset,
+    )
+    marks = tuple(sorted(k for k in packet.meta if k.startswith("chaos_")))
+    if packet.is_fragment:
+        return base + ("frag", len(packet.payload)) + marks
+    if packet.is_tcp:
+        tcp = packet.tcp
+        return base + (
+            "tcp",
+            tcp.src_port,
+            tcp.dst_port,
+            tcp.seq,
+            tcp.ack,
+            tcp.flags,
+            len(packet.payload),
+        ) + marks
+    if packet.is_udp:
+        udp = packet.udp
+        return base + ("udp", udp.src_port, udp.dst_port, len(packet.payload)) + marks
+    return base + ("other",) + marks
+
+
+def _interval_add(intervals: List[List[int]], lo: int, hi: int) -> None:
+    """Insert [lo, hi) into a sorted list of disjoint intervals."""
+    merged: List[List[int]] = []
+    placed = False
+    for start, stop in intervals:
+        if stop < lo or start > hi:
+            if start > hi and not placed:
+                merged.append([lo, hi])
+                placed = True
+            merged.append([start, stop])
+        else:
+            lo = min(lo, start)
+            hi = max(hi, stop)
+    if not placed:
+        merged.append([lo, hi])
+    merged.sort()
+    intervals[:] = merged
+
+
+def _interval_contains(intervals: List[List[int]], lo: int, hi: int) -> bool:
+    """True when [lo, hi) is fully inside one recorded interval."""
+    for start, stop in intervals:
+        if start <= lo and hi <= stop:
+            return True
+    return False
+
+
+class ChaosTap:
+    """A link tap recording canonical events at one observation point."""
+
+    def __init__(self, point: str):
+        self.point = point
+        self.events: List[Tuple[float, str, tuple]] = []
+
+    def __call__(self, event: str, packet: Packet, now: float) -> None:
+        self.events.append((round(now, 9), event, summarize_packet(packet)))
+
+    def packets(self, event: str = "rx") -> List[tuple]:
+        """Summaries of packets that produced *event* at this point."""
+        return [summary for _, kind, summary in self.events if kind == event]
+
+
+def trace_digest(taps: "Iterable[ChaosTap]") -> str:
+    """A sha256 over every tap's event stream — the replay fingerprint."""
+    digest = hashlib.sha256()
+    for tap in sorted(taps, key=lambda t: t.point):
+        digest.update(tap.point.encode())
+        for time, event, summary in tap.events:
+            digest.update(repr((time, event, summary)).encode())
+    return digest.hexdigest()
+
+
+class InvariantOracle:
+    """Collects invariant violations from one chaos scenario."""
+
+    def __init__(self):
+        self.violations: List[str] = []
+        self.checks_run = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def expect(self, condition: bool, invariant: str, detail: str) -> bool:
+        self.checks_run += 1
+        if not condition:
+            self.violations.append(f"{invariant}: {detail}")
+        return condition
+
+    # ------------------------------------------------------------------
+    # 1. TCP byte-stream transparency
+    # ------------------------------------------------------------------
+    def check_tcp_stream(self, name: str, sent_bytes: int, connection) -> None:
+        """The receiver must deliver exactly what the sender queued.
+
+        ``TCPConnection`` only advances ``bytes_delivered`` for in-order
+        data at ``rcv_nxt``, so delivered-count equality implies both
+        stream equality and in-order delivery.
+        """
+        self.expect(
+            connection.bytes_delivered == sent_bytes,
+            "tcp-stream",
+            f"{name}: delivered {connection.bytes_delivered} of {sent_bytes} bytes",
+        )
+        self.expect(
+            connection.bytes_delivered <= sent_bytes,
+            "tcp-stream",
+            f"{name}: delivered MORE than sent "
+            f"({connection.bytes_delivered} > {sent_bytes}) — bytes invented",
+        )
+
+    def check_tcp_seq_coverage(self, ingress: "ChaosTap", egress: "ChaosTap") -> None:
+        """The gateway must never emit a TCP byte it has not yet received.
+
+        Replays the two taps in time order and checks that every data
+        segment leaving the gateway covers a sequence range already
+        ingressed for that flow.  The correct merge engine only ever
+        re-segments contiguous received bytes, so this holds under any
+        fault schedule; a merge engine that papers over a sequence gap
+        (e.g. appending an out-of-order packet as if it were in order)
+        emits bytes for a hole it never received and is caught here —
+        even though the zero-filled payload model makes the final byte
+        *counts* come out right once retransmission heals the stream.
+        """
+        events: List[Tuple[float, int, tuple]] = []
+        for time, kind, summary in ingress.events:
+            if kind == "rx" and "tcp" in summary:
+                events.append((time, 0, summary))
+        for time, kind, summary in egress.events:
+            if kind == "tx" and "tcp" in summary:
+                events.append((time, 1, summary))
+        # At equal timestamps the gateway ingests before it emits.
+        events.sort(key=lambda entry: (entry[0], entry[1]))
+
+        received: Dict[tuple, List[List[int]]] = {}
+        for time, phase, summary in events:
+            anchor = summary.index("tcp")
+            src_port, dst_port, seq, _ack, _flags, payload_len = summary[
+                anchor + 1 : anchor + 7
+            ]
+            if payload_len == 0:
+                continue
+            flow = (summary[1], summary[2], src_port, dst_port)
+            lo, hi = seq, seq + payload_len
+            if phase == 0:
+                _interval_add(received.setdefault(flow, []), lo, hi)
+            else:
+                self.expect(
+                    _interval_contains(received.get(flow, []), lo, hi),
+                    "tcp-seq-coverage",
+                    f"{egress.point}: flow {flow} emitted seq [{lo}, {hi}) "
+                    f"at t={time} before receiving it "
+                    f"(received so far: {received.get(flow, [])})",
+                )
+
+    # ------------------------------------------------------------------
+    # 2. Datagram-boundary preservation
+    # ------------------------------------------------------------------
+    def check_datagram_flow(
+        self,
+        name: str,
+        sent: "Sequence[bytes]",
+        received: "Sequence[bytes]",
+        loss_budget: int = 0,
+        dup_budget: int = 0,
+        mutation_budget: int = 0,
+    ) -> None:
+        """Received datagrams must be exactly the sent ones, modulo the
+        injected-fault budgets.
+
+        * a datagram missing beyond ``loss_budget + mutation_budget``
+          means the gateway *lost* one;
+        * an unexpected payload beyond ``mutation_budget`` means the
+          gateway *invented or re-sliced* one (boundary violation);
+        * a surplus copy beyond ``dup_budget`` means it *duplicated* one.
+        """
+        sent_counts = Counter(sent)
+        recv_counts = Counter(received)
+        missing = sum((sent_counts - recv_counts).values())
+        surplus = recv_counts - sent_counts
+        invented = sum(count for payload, count in surplus.items() if payload not in sent_counts)
+        duplicated = sum(count for payload, count in surplus.items() if payload in sent_counts)
+        self.expect(
+            missing <= loss_budget + mutation_budget,
+            "datagram-boundary",
+            f"{name}: {missing} datagram(s) missing but faults only "
+            f"account for {loss_budget + mutation_budget}",
+        )
+        self.expect(
+            invented <= mutation_budget,
+            "datagram-boundary",
+            f"{name}: {invented} datagram(s) invented/re-sliced "
+            f"(mutation budget {mutation_budget})",
+        )
+        self.expect(
+            duplicated <= dup_budget,
+            "datagram-boundary",
+            f"{name}: {duplicated} surplus copy(ies) (duplicate budget {dup_budget})",
+        )
+
+    # ------------------------------------------------------------------
+    # 3. MSS / MTU discipline
+    # ------------------------------------------------------------------
+    def check_segment_sizes(
+        self,
+        tap: ChaosTap,
+        mtu: int,
+        max_tcp_payload: Optional[int] = None,
+    ) -> None:
+        """Nothing delivered by a link may exceed its MTU, and TCP data
+        segments must respect the clamped MSS on that link."""
+        for summary in tap.packets("rx"):
+            total_len = summary[3]
+            self.expect(
+                total_len <= mtu,
+                "mtu",
+                f"{tap.point}: {total_len} B packet on an {mtu} B link",
+            )
+            if max_tcp_payload is not None and "tcp" in summary:
+                payload_len = summary[summary.index("tcp") + 6]
+                self.expect(
+                    payload_len <= max_tcp_payload,
+                    "mss-clamp",
+                    f"{tap.point}: TCP payload {payload_len} B exceeds "
+                    f"negotiated MSS {max_tcp_payload} B",
+                )
+
+    # ------------------------------------------------------------------
+    # 4. Gateway counter conservation
+    # ------------------------------------------------------------------
+    def check_gateway_stats(self, gateway) -> None:
+        """``GatewayStats`` must balance against live engine buffers."""
+        worker = gateway.worker
+        stats = worker.stats
+        errors = stats.conservation_errors(
+            pending_tcp_bytes=worker.merge.pending_bytes(),
+            pending_datagrams=worker.caravan_merge.pending_packets(),
+        )
+        self.expect(
+            not errors,
+            "stats-conservation",
+            f"{gateway.name}: imbalance {errors} "
+            f"(in={stats.tcp_payload_in}/{stats.udp_datagrams_in} "
+            f"out={stats.tcp_payload_out}/{stats.udp_datagrams_out})",
+        )
+        self.expect(
+            0.0 <= stats.conversion_yield <= 1.0,
+            "stats-conservation",
+            f"{gateway.name}: conversion_yield {stats.conversion_yield} out of range",
+        )
+        self.expect(
+            stats.inbound_full_packets <= stats.inbound_data_packets,
+            "stats-conservation",
+            f"{gateway.name}: full packets {stats.inbound_full_packets} "
+            f"> data packets {stats.inbound_data_packets}",
+        )
+
+    # ------------------------------------------------------------------
+    # 5. F-PMTUD convergence
+    # ------------------------------------------------------------------
+    def check_pmtud(self, results: "Sequence", true_min_mtu: int) -> None:
+        """The final estimate must land in the fragment-alignment band
+        ``[true_min - 7, true_min]`` (fragments are 8-byte aligned)."""
+        if not self.expect(
+            len(results) >= 1,
+            "pmtud-convergence",
+            f"prober produced no result (true minimum {true_min_mtu} B)",
+        ):
+            return
+        final = results[-1].pmtu
+        self.expect(
+            true_min_mtu - 7 <= final <= true_min_mtu,
+            "pmtud-convergence",
+            f"estimate {final} B outside [{true_min_mtu - 7}, {true_min_mtu}]",
+        )

@@ -3,6 +3,7 @@
 from .caravan import (
     CaravanMergeEngine,
     CaravanSplitEngine,
+    caravan_inner_count,
     decode_caravan,
     encode_caravan,
     is_caravan,
@@ -39,5 +40,6 @@ __all__ = [
     "CaravanSplitEngine",
     "encode_caravan",
     "decode_caravan",
+    "caravan_inner_count",
     "is_caravan",
 ]

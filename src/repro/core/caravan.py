@@ -30,6 +30,7 @@ __all__ = [
     "is_caravan",
     "encode_caravan",
     "decode_caravan",
+    "caravan_inner_count",
     "CaravanMergeEngine",
     "CaravanSplitEngine",
 ]
@@ -38,6 +39,30 @@ __all__ = [
 def is_caravan(packet: Packet) -> bool:
     """True when *packet* is a PX-caravan bundle."""
     return packet.is_udp and packet.ip.tos == PX_CARAVAN_TOS
+
+
+def caravan_inner_count(packet: Packet) -> int:
+    """Number of datagrams *packet* represents (1 for a plain packet).
+
+    Counts only the complete inner records — a truncated caravan body
+    yields the records that survived, which is what the conservation
+    accounting needs when a damaged bundle is discarded.
+    """
+    if not is_caravan(packet):
+        return 1
+    cached = packet.meta.get("caravan_inner")
+    if cached is not None:
+        return cached
+    body = packet.payload
+    cursor = 0
+    count = 0
+    while cursor + UDP_HEADER_LEN <= len(body):
+        inner = UDPHeader.unpack(body[cursor:])
+        if inner.length < UDP_HEADER_LEN or cursor + inner.length > len(body):
+            break
+        count += 1
+        cursor += inner.length
+    return max(count, 1)
 
 
 def encode_caravan(packets: List[Packet]) -> Packet:

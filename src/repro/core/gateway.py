@@ -55,6 +55,8 @@ class PXGateway(Router):
         self.passthrough_udp_ports: Set[int] = {FPMTUD_PORT}
         self.untranslated = 0
         self._imtu_speaker = None
+        self._stall_until = 0.0
+        self._stalled: list = []
 
     # ------------------------------------------------------------------
     # Configuration
@@ -91,11 +93,42 @@ class PXGateway(Router):
         return self._imtu_speaker
 
     # ------------------------------------------------------------------
+    # Fault injection: worker stalls
+    # ------------------------------------------------------------------
+    def stall(self, duration: float) -> None:
+        """Freeze the datapath for *duration* seconds (chaos testing).
+
+        Arriving packets queue in arrival order and are processed in one
+        burst when the stall ends — the simulation analogue of a worker
+        core descheduled or stuck on a slow control-plane operation.
+        """
+        if duration <= 0:
+            return
+        until = self.sim.now + duration
+        if until <= self._stall_until:
+            return
+        self._stall_until = until
+        self.sim.schedule(duration, self._drain_stalled)
+
+    def _drain_stalled(self) -> None:
+        if self.sim.now < self._stall_until:
+            return  # superseded by a longer stall; its drain will run
+        stalled, self._stalled = self._stalled, []
+        for packet, interface in stalled:
+            self._process(packet, interface)
+
+    # ------------------------------------------------------------------
     # Datapath
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, interface: Interface) -> None:
         if self.trace:
             self.trace.record(self.sim.now, self.name, "rx", packet)
+        if self.sim.now < self._stall_until:
+            self._stalled.append((packet, interface))
+            return
+        self._process(packet, interface)
+
+    def _process(self, packet: Packet, interface: Interface) -> None:
         if self.owns_address(packet.ip.dst):
             if self._imtu_speaker is not None and self._imtu_speaker.handle(
                 packet, interface

@@ -28,6 +28,22 @@ class GatewayStats:
     #: Packets charged at full-DMA rates because the on-NIC memory was
     #: exhausted while header-only DMA was enabled.
     hdo_fallbacks: int = 0
+    #: TCP payload bytes offered to / emitted by the merge+split engines.
+    #: Both engines conserve payload bytes exactly, so at any instant
+    #: ``tcp_payload_in == tcp_payload_out + merge.pending_bytes()``.
+    tcp_payload_in: int = 0
+    tcp_payload_out: int = 0
+    #: UDP datagrams offered to / emitted by the caravan engines, with a
+    #: caravan counted as its inner-record total.  At any instant
+    #: ``udp_datagrams_in == udp_datagrams_out
+    #:   + caravan_merge.pending_packets() + udp_datagrams_malformed``.
+    udp_datagrams_in: int = 0
+    udp_datagrams_out: int = 0
+    #: Datagrams discarded because a caravan failed to decode (a
+    #: damaged bundle reaching the split engine).
+    udp_datagrams_malformed: int = 0
+    #: Caravans the split engine refused to open (truncated/garbled).
+    malformed_caravans: int = 0
     #: Histogram of emitted inbound data-packet total lengths.
     inbound_size_histogram: Dict[int, int] = field(default_factory=dict)
     inbound_data_packets: int = 0
@@ -67,6 +83,35 @@ class GatewayStats:
             return 0.0
         return self.inbound_full_bytes / self.inbound_data_bytes
 
+    def conservation_errors(
+        self, pending_tcp_bytes: int = 0, pending_datagrams: int = 0
+    ) -> "Dict[str, int]":
+        """Violations of the gateway's conservation identities.
+
+        Returns a dict of nonzero imbalances (empty = consistent):
+
+        * ``tcp_bytes``: payload bytes that entered the merge/split
+          engines minus bytes emitted minus bytes still buffered;
+        * ``udp_datagrams``: datagrams in minus (out + still pending +
+          discarded as malformed).
+
+        The caller supplies the engines' live buffer occupancy
+        (``merge.pending_bytes()`` / ``caravan_merge.pending_packets()``).
+        """
+        errors: Dict[str, int] = {}
+        tcp_delta = self.tcp_payload_in - self.tcp_payload_out - pending_tcp_bytes
+        if tcp_delta:
+            errors["tcp_bytes"] = tcp_delta
+        udp_delta = (
+            self.udp_datagrams_in
+            - self.udp_datagrams_out
+            - pending_datagrams
+            - self.udp_datagrams_malformed
+        )
+        if udp_delta:
+            errors["udp_datagrams"] = udp_delta
+        return errors
+
     def merge(self, other: "GatewayStats") -> None:
         """Fold a worker's stats into this aggregate."""
         self.rx_packets += other.rx_packets
@@ -78,6 +123,12 @@ class GatewayStats:
         self.hairpinned += other.hairpinned
         self.mss_rewrites += other.mss_rewrites
         self.hdo_fallbacks += other.hdo_fallbacks
+        self.tcp_payload_in += other.tcp_payload_in
+        self.tcp_payload_out += other.tcp_payload_out
+        self.udp_datagrams_in += other.udp_datagrams_in
+        self.udp_datagrams_out += other.udp_datagrams_out
+        self.udp_datagrams_malformed += other.udp_datagrams_malformed
+        self.malformed_caravans += other.malformed_caravans
         self.inbound_data_packets += other.inbound_data_packets
         self.inbound_full_packets += other.inbound_full_packets
         self.inbound_data_bytes += other.inbound_data_bytes

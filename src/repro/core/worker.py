@@ -14,7 +14,12 @@ from typing import List
 from ..cpu import DEFAULT_GATEWAY_COSTS, CycleAccount, GatewayCosts
 from ..nic.dma import FULL_DMA, HEADER_ONLY_DMA
 from ..packet import Packet
-from .caravan import CaravanMergeEngine, CaravanSplitEngine, is_caravan
+from .caravan import (
+    CaravanMergeEngine,
+    CaravanSplitEngine,
+    caravan_inner_count,
+    is_caravan,
+)
 from .classifier import FlowClassifier
 from .config import Bound, GatewayConfig
 from .flow_table import FlowTable
@@ -39,6 +44,9 @@ class GatewayWorker:
         self.costs = costs
         self.index = index
         self.dma = HEADER_ONLY_DMA if config.header_only_dma else FULL_DMA
+        #: Live on-NIC memory budget; starts at the configured value but
+        #: is mutable so fault injection can model memory exhaustion.
+        self.nic_memory_bytes = config.nic_memory_bytes
         self.merge = TcpMergeEngine(
             config.imtu_tcp_payload, max_contexts=config.merge_contexts_per_worker
         )
@@ -93,7 +101,7 @@ class GatewayWorker:
         dma = self.dma
         if self.config.header_only_dma:
             resident = self.merge.pending_bytes() + self.caravan_merge.pending_bytes()
-            if resident + packet.total_len > self.config.nic_memory_bytes:
+            if resident + packet.total_len > self.nic_memory_bytes:
                 # On-NIC memory exhausted: this packet's payload must
                 # cross into host DRAM after all (§5.1's "limited NIC
                 # store" caveat).
@@ -122,43 +130,60 @@ class GatewayWorker:
             self.account.charge(costs.baseline_gro_per_packet, category="gro-sw")
         else:
             self.account.charge(costs.flow_lookup + costs.merge_append, category="merge")
+        self.stats.tcp_payload_in += len(packet.payload)
         outputs = self.merge.feed(packet, now)
         for out in outputs:
             self.account.charge(costs.merge_flush, category="merge")
+            self.stats.tcp_payload_out += len(out.payload)
             if out.meta.get("spliced"):
                 self.stats.merged_packets += 1
         return self._emit(outputs, Bound.INBOUND, data=True)
 
     def _tcp_outbound(self, packet: Packet) -> List[Packet]:
         costs = self.costs
+        self.stats.tcp_payload_in += len(packet.payload)
         segments = self.split.process(packet)
         if self.config.baseline_gro and len(segments) > 1:
             self.account.charge(costs.baseline_tx_per_packet * len(segments), category="tso-sw")
         self.account.charge(costs.split_per_segment * len(segments), category="split")
         self.stats.split_segments += len(segments) if len(segments) > 1 else 0
+        self.stats.tcp_payload_out += sum(len(seg.payload) for seg in segments)
         return self._emit(segments, Bound.OUTBOUND, data=True)
 
     def _udp_inbound(self, packet: Packet, now: float) -> List[Packet]:
         costs = self.costs
+        self.stats.udp_datagrams_in += caravan_inner_count(packet)
         if not self.config.caravan:
+            self.stats.udp_datagrams_out += caravan_inner_count(packet)
             return self._emit([packet], Bound.INBOUND, data=True)
         self.account.charge(costs.flow_lookup + costs.caravan_append, category="caravan")
         outputs = self.caravan_merge.feed(packet, now)
         for out in outputs:
             self.account.charge(costs.caravan_flush, category="caravan")
+            self.stats.udp_datagrams_out += caravan_inner_count(out)
             if is_caravan(out):
                 self.stats.caravans_built += 1
         return self._emit(outputs, Bound.INBOUND, data=True)
 
     def _udp_outbound(self, packet: Packet) -> List[Packet]:
         costs = self.costs
+        self.stats.udp_datagrams_in += caravan_inner_count(packet)
         if is_caravan(packet):
-            datagrams = self.caravan_split.process(packet)
+            try:
+                datagrams = self.caravan_split.process(packet)
+            except ValueError:
+                # A damaged bundle (truncated/garbled in transit) cannot
+                # be opened; discard it rather than emit garbage.
+                self.stats.malformed_caravans += 1
+                self.stats.udp_datagrams_malformed += caravan_inner_count(packet)
+                return []
             self.stats.caravans_opened += 1
             self.account.charge(
                 costs.caravan_split_per_datagram * len(datagrams), category="caravan"
             )
+            self.stats.udp_datagrams_out += len(datagrams)
             return self._emit(datagrams, Bound.OUTBOUND, data=True)
+        self.stats.udp_datagrams_out += 1
         return self._emit([packet], Bound.OUTBOUND, data=True)
 
     # ------------------------------------------------------------------
@@ -177,6 +202,10 @@ class GatewayWorker:
             flushed = self.merge.flush() + self.caravan_merge.flush()
         for out in flushed:
             self.account.charge(self.costs.merge_flush, category="merge")
+            if out.is_tcp:
+                self.stats.tcp_payload_out += len(out.payload)
+            elif out.is_udp:
+                self.stats.udp_datagrams_out += caravan_inner_count(out)
             if is_caravan(out):
                 self.stats.caravans_built += 1
         return self._emit(flushed, Bound.INBOUND, data=True)

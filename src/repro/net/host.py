@@ -59,6 +59,9 @@ class Host(Node):
         self._icmp_listeners: List[IcmpListener] = []
         self.rx_packets = 0
         self.rx_bytes = 0
+        #: Caravans dropped because their body failed to decode (a
+        #: damaged bundle; real stacks discard undecodable input).
+        self.caravan_decode_errors = 0
         #: Packets that arrived with nobody listening.
         self.unclaimed: List[Packet] = []
 
@@ -205,7 +208,12 @@ class Host(Node):
                 from ..core.caravan import decode_caravan, is_caravan
 
                 if is_caravan(packet):
-                    for datagram in decode_caravan(packet):
+                    try:
+                        datagrams = decode_caravan(packet)
+                    except ValueError:
+                        self.caravan_decode_errors += 1
+                        return
+                    for datagram in datagrams:
                         self._deliver_udp(datagram)
                     return
             self._deliver_udp(packet)

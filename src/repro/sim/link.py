@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from ..packet import Packet
 from .engine import Simulator
@@ -19,6 +19,11 @@ from .netem import Netem
 from .node import Interface
 
 __all__ = ["Link", "connect", "LinkStats"]
+
+#: A tap observes packets at a link: ``tap(event, packet, now)`` where
+#: event is one of "tx", "rx", "drop-mtu", "drop-queue", "drop-loss",
+#: "drop-fault".  Taps must not mutate the packet.
+LinkTap = Callable[[str, Packet, float], None]
 
 #: Default queue capacity in bytes (≈ 256 full-size 9 KB packets).
 DEFAULT_QUEUE_BYTES = 2_304_000
@@ -33,6 +38,7 @@ class LinkStats:
         self.dropped_queue = 0
         self.dropped_loss = 0
         self.dropped_mtu = 0
+        self.dropped_fault = 0
         self.bytes_delivered = 0
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -67,9 +73,24 @@ class Link:
         self.netem = netem
         self.rng = rng or random.Random(0)
         self.stats = LinkStats()
+        #: Observers of every packet event on this link (chaos oracle,
+        #: pcap capture); see :data:`LinkTap`.
+        self.taps: List[LinkTap] = []
+        #: Optional deterministic fault injector.  Must provide
+        #: ``apply(packet, now) -> List[Tuple[Packet, float]]``: the
+        #: copies to deliver with per-copy extra delay (empty = drop).
+        self.injector = None
         self._queue: Deque[Packet] = deque()
         self._queued_bytes = 0
         self._busy = False
+
+    def add_tap(self, tap: LinkTap) -> None:
+        """Attach an observer called for every packet event."""
+        self.taps.append(tap)
+
+    def _notify(self, event: str, packet: Packet) -> None:
+        for tap in self.taps:
+            tap(event, packet, self.sim.now)
 
     def transmit(self, packet: Packet) -> bool:
         """Enqueue *packet* for transmission; False if dropped.
@@ -81,10 +102,13 @@ class Link:
         """
         if packet.total_len > self.mtu:
             self.stats.dropped_mtu += 1
+            self._notify("drop-mtu", packet)
             return False
         if self._queued_bytes + packet.total_len > self.queue_bytes:
             self.stats.dropped_queue += 1
+            self._notify("drop-queue", packet)
             return False
+        self._notify("tx", packet)
         self._queue.append(packet)
         self._queued_bytes += packet.total_len
         if not self._busy:
@@ -103,20 +127,31 @@ class Link:
 
     def _serialized(self, packet: Packet) -> None:
         self.stats.transmitted += 1
-        extra_delay = 0.0
-        drop = False
-        if self.netem is not None:
-            drop, extra_delay = self.netem.impair(self.rng)
-        if drop:
-            self.stats.dropped_loss += 1
-        else:
-            self.sim.schedule(self.delay + extra_delay, self._deliver, packet)
+        deliveries: List[Tuple[Packet, float]] = [(packet, 0.0)]
+        if self.injector is not None:
+            deliveries = self.injector.apply(packet, self.sim.now)
+            if not deliveries:
+                self.stats.dropped_fault += 1
+                self._notify("drop-fault", packet)
+        for copy, fault_delay in deliveries:
+            extra_delay = 0.0
+            drop = False
+            if self.netem is not None:
+                drop, extra_delay = self.netem.impair(self.rng)
+            if drop:
+                self.stats.dropped_loss += 1
+                self._notify("drop-loss", copy)
+            else:
+                self.sim.schedule(
+                    self.delay + extra_delay + fault_delay, self._deliver, copy
+                )
         self._start_next()
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.delivered += 1
         self.stats.bytes_delivered += packet.total_len
         packet.timestamp = self.sim.now
+        self._notify("rx", packet)
         self.dst.deliver(packet)
 
     @property

@@ -84,6 +84,12 @@ class Netem:
     reorder: float = 0.0
     reorder_extra: float = 0.001
     burst_loss: Optional[GilbertElliott] = None
+    #: When set, the instance owns a ``random.Random(seed)`` and uses it
+    #: for every stochastic decision, regardless of the rng the caller
+    #: passes to :meth:`impair`.  This is what makes chaos runs
+    #: replayable from a single seed: the impairment sequence depends
+    #: only on the seed and the (deterministic) packet arrival order.
+    seed: Optional[int] = None
 
     def __post_init__(self):
         if not 0.0 <= self.loss <= 1.0:
@@ -92,9 +98,24 @@ class Netem:
             raise ValueError(f"reorder must be a probability, got {self.reorder}")
         if self.delay < 0 or self.jitter < 0 or self.reorder_extra < 0:
             raise ValueError("delays must be non-negative")
+        self._rng = random.Random(self.seed) if self.seed is not None else None
+        self._default_rng: Optional[random.Random] = None
 
-    def impair(self, rng: random.Random) -> "Tuple[bool, float]":
-        """Return ``(drop, extra_delay)`` for one packet."""
+    def impair(self, rng: Optional[random.Random] = None) -> "Tuple[bool, float]":
+        """Return ``(drop, extra_delay)`` for one packet.
+
+        Decisions come from this instance's own seeded rng when a
+        ``seed`` was given, else from *rng*, else from a default
+        ``random.Random(0)`` created on first use — the module-global
+        ``random`` is never consulted, so same-seed runs replay
+        bit-identically.
+        """
+        if self._rng is not None:
+            rng = self._rng
+        elif rng is None:
+            if self._default_rng is None:
+                self._default_rng = random.Random(0)
+            rng = self._default_rng
         if self.loss and rng.random() < self.loss:
             return True, 0.0
         if self.burst_loss is not None and self.burst_loss.drop(rng):

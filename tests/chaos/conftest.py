@@ -1,0 +1,15 @@
+"""Shared helpers for the chaos suite."""
+
+from repro.chaos import ScenarioResult
+
+
+def failure_report(result: ScenarioResult) -> str:
+    """A readable pytest failure message for a scenario result."""
+    lines = [
+        f"profile={result.profile} seed={result.seed} "
+        f"faults_fired={result.faults_fired} checks_run={result.checks_run}",
+        f"plan: {result.plan.describe() or '(empty)'}",
+    ]
+    lines.extend(f"  violation: {violation}" for violation in result.violations)
+    lines.extend(f"  note: {note}" for note in result.notes)
+    return "\n".join(lines)

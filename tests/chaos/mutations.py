@@ -1,0 +1,58 @@
+"""Known-bad gateway mutations used by the teeth and shrink tests.
+
+Each mutation takes a :class:`repro.chaos.ChaosWorld` and monkey-patches
+one engine instance inside the gateway to reintroduce a realistic bug.
+The chaos oracle must catch every one of them.
+"""
+
+from repro.core.tcp_merge import _NO_MERGE_FLAGS
+
+
+def break_merge(world):
+    """Reintroduce the merge-without-flush-on-reorder bug.
+
+    The correct engine flushes its context and reopens when a segment
+    arrives out of sequence.  This mutation appends the out-of-order
+    segment as if it were in order, papering over the sequence hole —
+    byte *counts* still come out right after retransmission heals the
+    stream, so only the temporal tcp-seq-coverage invariant (and, when
+    the hole is never healed in time, stream equality) can see it.
+    """
+    merge = world.gateway.worker.merge
+    orig_feed = merge.feed
+
+    def broken_feed(packet, now=0.0):
+        if (
+            packet.is_tcp
+            and not packet.is_fragment
+            and packet.payload
+            and not (packet.tcp.flags & _NO_MERGE_FLAGS)
+        ):
+            key = packet.flow_key()
+            ctx = merge._contexts.get(key)
+            if ctx is not None and packet.tcp.seq != ctx.next_seq:
+                ctx.append(packet, now)
+                merge._contexts.move_to_end(key)
+                return merge._drain_full(key, ctx)
+        return orig_feed(packet, now)
+
+    merge.feed = broken_feed
+
+
+def break_caravan_split(world):
+    """Make the caravan splitter silently drop one inner datagram.
+
+    Whenever a caravan opens into more than one datagram, the first one
+    vanishes.  The oracle sees this twice over: a datagram-boundary
+    violation (a payload is missing with no fault to blame) and a
+    stats-conservation imbalance (the worker counted the caravan's full
+    inner count on ingress but emitted fewer datagrams).
+    """
+    split = world.gateway.worker.caravan_split
+    orig_process = split.process
+
+    def lossy_process(packet):
+        out = orig_process(packet)
+        return out[1:] if len(out) > 1 else out
+
+    split.process = lossy_process

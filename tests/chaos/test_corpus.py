@@ -1,0 +1,43 @@
+"""The chaos corpus: >= 50 seeded fault scenarios must hold all invariants.
+
+Every entry replays a deterministic world + fault plan derived purely
+from ``(profile, seed)`` and runs the full invariant oracle against it.
+A failure message includes the plan description and the seed, so any
+red test reproduces locally with ``run_scenario(profile, seed)``.
+"""
+
+import pytest
+
+from repro.chaos import PROFILES, build_plan, corpus, run_scenario
+
+from .conftest import failure_report
+
+CORPUS = corpus()
+
+
+def test_corpus_size_and_mix():
+    assert len(CORPUS) >= 50
+    assert {profile for profile, _ in CORPUS} == set(PROFILES)
+    # No duplicate scenarios — every entry is distinct work.
+    assert len(set(CORPUS)) == len(CORPUS)
+
+
+def test_corpus_plans_inject_real_faults():
+    """The corpus is not vacuous: most plans carry link faults, and the
+    gateway-fault kinds all appear somewhere."""
+    plans = [build_plan(profile, seed) for profile, seed in CORPUS]
+    assert sum(1 for plan in plans if plan.link_faults) >= len(plans) * 3 // 4
+    gateway_kinds = {
+        fault.kind for plan in plans for fault in plan.gateway_faults
+    }
+    assert gateway_kinds == {"stall", "eviction_storm", "nic_pressure"}
+
+
+@pytest.mark.parametrize(
+    "profile,seed", CORPUS, ids=[f"{profile}-{seed}" for profile, seed in CORPUS]
+)
+def test_scenario_holds_invariants(profile, seed):
+    result = run_scenario(profile, seed)
+    assert result.ok, failure_report(result)
+    assert result.checks_run > 0
+    assert result.digest  # the trace fingerprint is always produced

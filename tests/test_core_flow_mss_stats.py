@@ -8,8 +8,10 @@ from repro.core import (
     FlowTable,
     GatewayConfig,
     GatewayStats,
+    GatewayWorker,
     MssClamp,
 )
+from repro.core.caravan import encode_caravan
 from repro.packet import FlowKey, IPProto, TCPFlags, build_tcp, build_udp
 
 
@@ -172,3 +174,139 @@ class TestGatewayStats:
         assert a.conversion_yield == 0.5
         assert a.rx_packets == 7
         assert a.inbound_size_histogram == {9000: 1, 1500: 1}
+
+    def test_conservation_errors_balanced_and_not(self):
+        stats = GatewayStats()
+        stats.tcp_payload_in = 100
+        stats.tcp_payload_out = 60
+        assert stats.conservation_errors(pending_tcp_bytes=40) == {}
+        assert stats.conservation_errors(pending_tcp_bytes=0) == {"tcp_bytes": 40}
+        stats.udp_datagrams_in = 10
+        stats.udp_datagrams_out = 7
+        stats.udp_datagrams_malformed = 2
+        assert stats.conservation_errors(
+            pending_tcp_bytes=40, pending_datagrams=1
+        ) == {}
+        assert stats.conservation_errors(
+            pending_tcp_bytes=40, pending_datagrams=0
+        ) == {"udp_datagrams": 1}
+
+
+class TestWorkerConservation:
+    """The conservation identities must hold through every worker path —
+    including the ones that bypass or pressure the merge engines:
+    the NIC hairpin, header-only-DMA fallback, and context eviction."""
+
+    def check(self, worker):
+        errors = worker.stats.conservation_errors(
+            pending_tcp_bytes=worker.merge.pending_bytes(),
+            pending_datagrams=worker.caravan_merge.pending_packets(),
+        )
+        assert errors == {}, errors
+
+    def tcp_data(self, seq, payload_len=1460, src_port=5000):
+        return build_tcp(
+            "8.0.0.1",
+            "10.0.0.9",
+            src_port,
+            80,
+            seq=seq,
+            flags=TCPFlags.ACK,
+            payload=bytes(payload_len),
+        )
+
+    def test_hairpinned_mice_stay_balanced(self):
+        """Mice bypass the merge engine entirely; the identity must hold
+        with both payload counters untouched."""
+        worker = GatewayWorker(GatewayConfig(elephant_threshold_packets=1000))
+        for i in range(5):
+            out = worker.process(self.tcp_data(seq=1 + 1460 * i), Bound.INBOUND, now=i * 1e-3)
+            assert out  # forwarded via the hairpin, not buffered
+        assert worker.stats.hairpinned == 5
+        assert worker.stats.tcp_payload_in == 0  # never entered the engine
+        self.check(worker)
+
+    def test_elephants_balance_through_merge_and_flush(self):
+        worker = GatewayWorker(GatewayConfig(elephant_threshold_packets=2))
+        for i in range(12):
+            worker.process(self.tcp_data(seq=1 + 1460 * i), Bound.INBOUND, now=i * 1e-5)
+            self.check(worker)  # identity holds at every instant
+        assert worker.merge.pending_bytes() > 0  # a partial jumbo is buffered
+        worker.end_batch(now=1.0)
+        assert worker.merge.pending_bytes() == 0
+        self.check(worker)
+
+    def test_hdo_fallback_path_keeps_identity(self):
+        """With header-only DMA and a tiny on-NIC budget every packet
+        falls back to full DMA — the counters must not fork."""
+        worker = GatewayWorker(
+            GatewayConfig(
+                elephant_threshold_packets=1, header_only_dma=True
+            )
+        )
+        worker.nic_memory_bytes = 100  # force the fallback immediately
+        for i in range(8):
+            worker.process(self.tcp_data(seq=1 + 1460 * i), Bound.INBOUND, now=i * 1e-5)
+        assert worker.stats.hdo_fallbacks >= 7
+        self.check(worker)
+        worker.end_batch(now=1.0)
+        self.check(worker)
+
+    def test_eviction_storm_flushes_not_drops(self):
+        """With one merge context, interleaved flows evict each other
+        constantly; evicted contexts must flush their bytes, not leak."""
+        worker = GatewayWorker(GatewayConfig(elephant_threshold_packets=1))
+        worker.merge.max_contexts = 1
+        for i in range(10):
+            port = 5000 + (i % 2)  # two flows fight over one context
+            worker.process(
+                self.tcp_data(seq=1 + 1460 * (i // 2), src_port=port),
+                Bound.INBOUND,
+                now=i * 1e-5,
+            )
+            self.check(worker)
+        worker.end_batch(now=1.0)
+        self.check(worker)
+        assert worker.stats.tcp_payload_in == 10 * 1460
+        assert worker.stats.tcp_payload_out == 10 * 1460
+
+    def test_caravan_paths_balance(self):
+        worker = GatewayWorker(GatewayConfig(elephant_threshold_packets=1))
+        datagrams = [
+            build_udp("8.0.0.1", "10.0.0.9", 6000, 4433, payload=bytes(1000))
+            for _ in range(4)
+        ]
+        # Inbound: plain datagrams accumulate toward a caravan.
+        for i, datagram in enumerate(datagrams):
+            worker.process(datagram, Bound.INBOUND, now=i * 1e-5)
+            self.check(worker)
+        worker.end_batch(now=1.0)
+        self.check(worker)
+        # Outbound: a caravan is opened back into datagrams.
+        caravan = encode_caravan(
+            [
+                build_udp("10.0.0.9", "8.0.0.1", 4433, 6000, payload=bytes(1000))
+                for _ in range(3)
+            ]
+        )
+        out = worker.process(caravan, Bound.OUTBOUND, now=2.0)
+        assert len(out) == 3
+        assert worker.stats.caravans_opened == 1
+        self.check(worker)
+
+    def test_malformed_caravan_counts_as_malformed_not_lost(self):
+        worker = GatewayWorker(GatewayConfig(elephant_threshold_packets=1))
+        caravan = encode_caravan(
+            [
+                build_udp("10.0.0.9", "8.0.0.1", 4433, 6000, payload=bytes(500))
+                for _ in range(2)
+            ]
+        )
+        caravan.payload = caravan.payload[:-200]  # damage the last record
+        caravan.udp.length = 8 + len(caravan.payload)
+        caravan.ip.total_length = caravan.ip.header_len + caravan.udp.length
+        out = worker.process(caravan, Bound.OUTBOUND, now=0.0)
+        assert out == []
+        assert worker.stats.malformed_caravans == 1
+        assert worker.stats.udp_datagrams_malformed >= 1
+        self.check(worker)

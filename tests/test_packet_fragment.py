@@ -155,3 +155,121 @@ class TestReassembly:
         assert result is not None
         assert result.payload == packet.payload
         assert result.total_len == packet.total_len
+
+
+class TestFragmentationProperties:
+    """Hypothesis properties over the fragmentation substrate.
+
+    These are the guarantees F-PMTUD leans on: fragments tile the
+    original datagram exactly, the largest fragment always lands in the
+    8-byte alignment band just below the hop MTU, and re-fragmentation
+    along a multi-bottleneck path composes with reassembly.
+    """
+
+    @settings(max_examples=40)
+    @given(
+        payload_len=st.integers(min_value=1, max_value=15000),
+        mtu=st.integers(min_value=576, max_value=9000),
+    )
+    def test_fragments_tile_exactly_without_overlap(self, payload_len, mtu):
+        packet = udp_of_total_len(20 + 8 + payload_len)
+        fragments = fragment_packet(packet, mtu)
+        if len(fragments) == 1:
+            # Unfragmented pass-through: the original packet, untouched.
+            assert fragments[0] is packet
+            return
+        spans = sorted(
+            (f.ip.fragment_offset * 8, f.ip.fragment_offset * 8 + len(f.payload))
+            for f in fragments
+        )
+        cursor = 0
+        for lo, hi in spans:
+            assert lo == cursor  # no hole, no overlap
+            cursor = hi
+        assert cursor == 8 + payload_len  # UDP header rides in fragment 0
+        assert {f.ip.identification for f in fragments} == {packet.ip.identification}
+
+    @settings(max_examples=40)
+    @given(
+        total_len=st.integers(min_value=1000, max_value=20000),
+        mtu=st.integers(min_value=576, max_value=9000),
+    )
+    def test_largest_fragment_lands_in_alignment_band(self, total_len, mtu):
+        """The F-PMTUD measurement primitive: whenever a hop fragments,
+        the largest fragment size is in ``(mtu - 8, mtu]`` — so
+        ``max(sizes)`` under-reports the true MTU by at most 7 bytes."""
+        packet = udp_of_total_len(total_len)
+        fragments = fragment_packet(packet, mtu)
+        if len(fragments) == 1:
+            assert total_len <= mtu
+            return
+        largest = max(f.total_len for f in fragments)
+        assert mtu - 7 <= largest <= mtu
+
+    @settings(max_examples=25)
+    @given(
+        total_len=st.integers(min_value=3000, max_value=18000),
+        first_mtu=st.integers(min_value=2000, max_value=8000),
+        second_mtu=st.integers(min_value=576, max_value=1999),
+        rng=st.randoms(use_true_random=False),
+    )
+    def test_two_stage_refragmentation_roundtrip(
+        self, total_len, first_mtu, second_mtu, rng
+    ):
+        """Fragmenting at one bottleneck, re-fragmenting the pieces at a
+        narrower one, then reassembling in arbitrary order is identity —
+        the multi-bottleneck path F-PMTUD probes through."""
+        packet = udp_of_total_len(total_len)
+        pieces = []
+        for fragment in fragment_packet(packet, first_mtu):
+            pieces.extend(fragment_packet(fragment, second_mtu))
+        rng.shuffle(pieces)
+        reassembler = Reassembler()
+        results = [r for r in map(reassembler.add, pieces) if r is not None]
+        assert len(results) == 1
+        assert results[0].payload == packet.payload
+        assert results[0].total_len == packet.total_len
+        assert len(reassembler) == 0
+
+    @settings(max_examples=25)
+    @given(
+        payload_len=st.integers(min_value=1, max_value=600),
+        mtu=st.integers(min_value=28, max_value=64),
+    )
+    def test_min_fragment_edge_mtus(self, payload_len, mtu):
+        """MTUs barely above the IP header still work: usable payload is
+        ``(mtu - 20) & ~7`` (>= 8 for mtu >= 28), and reassembly holds."""
+        packet = udp_of_total_len(20 + 8 + payload_len)
+        fragments = fragment_packet(packet, mtu)
+        usable = (mtu - 20) & ~7
+        for fragment in fragments[:-1]:
+            assert len(fragment.payload) == usable
+        reassembler = Reassembler()
+        results = [r for r in map(reassembler.add, fragments) if r is not None]
+        assert results and results[0].payload == packet.payload
+
+    @settings(max_examples=15)
+    @given(mtu=st.integers(min_value=20, max_value=27))
+    def test_mtu_below_minimum_payload_rejected(self, mtu):
+        with pytest.raises(ValueError):
+            fragment_packet(udp_of_total_len(1000), mtu)
+
+    @settings(max_examples=30)
+    @given(
+        payload_len=st.integers(min_value=1, max_value=9000),
+        mtu=st.integers(min_value=576, max_value=1500),
+    )
+    def test_tcp_content_roundtrip(self, payload_len, mtu):
+        """Byte-exact round-trip for TCP with patterned content: the
+        reassembled payload matches the original bytes, not just length."""
+        payload = bytes((3 * i + 1) % 256 for i in range(payload_len))
+        packet = build_tcp(
+            "10.2.0.1", "10.3.0.1", 444, 555, payload=payload, dont_fragment=False
+        )
+        reassembler = Reassembler()
+        results = [
+            r for r in map(reassembler.add, fragment_packet(packet, mtu)) if r is not None
+        ]
+        assert len(results) == 1
+        assert results[0].is_tcp
+        assert results[0].payload == payload

@@ -43,8 +43,14 @@ def test_run_until_stops_before_later_events():
     sim.run(until=2.0)
     assert fired == ["early"]
     assert sim.now == 2.0  # clock advanced to the boundary
+    # Assert on the queue, not on timing side effects: exactly the late
+    # event is still pending, at exactly its scheduled time.
+    assert sim.pending() == 1
+    assert sim.peek_time() == 5.0
     sim.run()
     assert fired == ["early", "late"]
+    assert sim.pending() == 0
+    assert sim.peek_time() is None
 
 
 def test_events_can_schedule_events():
@@ -111,12 +117,64 @@ def test_pending_counts_live_events():
     assert sim.pending() == 1
 
 
+def test_stepped_runs_observe_queue_draining():
+    """Advancing in fixed steps must never skip or re-run work: the
+    pending count and next-event time fully describe progress, so the
+    test asserts on those instead of sleeping toward a deadline."""
+    sim = Simulator()
+    fired = []
+    times = [0.4, 1.2, 2.7, 3.1]
+    for time in times:
+        sim.schedule_at(time, fired.append, time)
+    step = 1.0
+    while sim.pending():
+        next_time = sim.peek_time()
+        sim.run(until=sim.now + step)
+        # Everything scheduled inside the window fired, nothing beyond.
+        assert all(t <= sim.now for t in fired)
+        remaining = [t for t in times if t > sim.now]
+        assert sim.pending() == len(remaining)
+        assert sim.peek_time() == (min(remaining) if remaining else None)
+        assert next_time is not None
+    assert fired == times
+
+
+def test_max_events_leaves_remainder_pending():
+    sim = Simulator()
+    fired = []
+    for index in range(6):
+        sim.schedule(float(index), fired.append, index)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+    assert sim.pending() == 4
+    assert sim.peek_time() == 2.0  # resumable exactly where it stopped
+    sim.run()
+    assert fired == list(range(6))
+
+
+def test_callback_scheduling_updates_peek_and_pending():
+    sim = Simulator()
+    observed = []
+
+    def first():
+        sim.schedule(2.0, observed.append, "second")
+        observed.append((sim.pending(), sim.peek_time()))
+
+    sim.schedule(1.0, first)
+    assert sim.peek_time() == 1.0
+    sim.run()
+    # Inside the callback the newly scheduled event was already visible.
+    assert observed == [(1, 3.0), "second"]
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
 def test_execution_order_is_sorted_property(delays):
     sim = Simulator()
     fired = []
     for delay in delays:
         sim.schedule(delay, lambda d=delay: fired.append(d))
+    assert sim.pending() == len(delays)
     sim.run()
     assert fired == sorted(fired)
     assert len(fired) == len(delays)
+    assert sim.pending() == 0 and sim.peek_time() is None
