@@ -16,7 +16,10 @@ must never violate *no matter what the network does*:
    exceeds the clamped MSS; nothing on any link exceeds its MTU.
 4. **Counter conservation** — ``GatewayStats`` balances: payload in ==
    payload out + still-buffered (+ discarded-as-malformed for UDP).
-5. **F-PMTUD convergence** — the prober's estimate lands within the
+5. **Bounded recovery** — the resilience health monitor ends the run
+   back in HEALTHY, and every degradation excursion closes within a
+   bounded window of opening.
+6. **F-PMTUD convergence** — the prober's estimate lands within the
    8-byte fragment-alignment band below the true path minimum.
 
 Canonical packet summaries *exclude* ``ip.identification``: the IP-ID
@@ -318,7 +321,40 @@ class InvariantOracle:
         )
 
     # ------------------------------------------------------------------
-    # 5. F-PMTUD convergence
+    # 5. Recovery: degradation must be bounded and end HEALTHY
+    # ------------------------------------------------------------------
+    def check_recovery(self, monitor, max_excursion: float = 1.0) -> None:
+        """The resilience layer must have *recovered* by scenario end.
+
+        Duck-typed over :class:`repro.resilience.HealthMonitor`: the
+        final state must be HEALTHY, and every excursion away from
+        HEALTHY must have closed within *max_excursion* simulated
+        seconds of opening.  Faults in the corpus all have finite hit
+        counts, so unbounded degradation means the health machinery is
+        stuck, not that the network is still hostile.
+        """
+        self.expect(
+            monitor.state == "healthy",
+            "recovery",
+            f"gateway ended {monitor.state!r}, not healthy "
+            f"(transitions: {monitor.transitions})",
+        )
+        for left_at, returned_at in monitor.excursions():
+            if not self.expect(
+                returned_at is not None,
+                "recovery",
+                f"excursion opened at t={left_at:.4f} never closed",
+            ):
+                continue
+            self.expect(
+                returned_at - left_at <= max_excursion,
+                "recovery",
+                f"excursion [{left_at:.4f}, {returned_at:.4f}] lasted "
+                f"{returned_at - left_at:.4f}s (bound {max_excursion}s)",
+            )
+
+    # ------------------------------------------------------------------
+    # 6. F-PMTUD convergence
     # ------------------------------------------------------------------
     def check_pmtud(self, results: "Sequence", true_min_mtu: int) -> None:
         """The final estimate must land in the fragment-alignment band

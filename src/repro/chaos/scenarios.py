@@ -82,6 +82,8 @@ class ChaosWorld:
     taps: Dict[str, ChaosTap]
     log: FaultLog
     mid_mtu: Optional[int] = None
+    #: The resilience HealthMonitor attached to the gateway.
+    monitor: Optional[object] = None
 
 
 @dataclass
@@ -157,6 +159,9 @@ def build_world(profile: str, seed: int) -> ChaosWorld:
 
     topo.build_routes()
     gateway.mark_internal(gw_iface)
+    # The resilience layer under test: every scenario must end with the
+    # gateway back in HEALTHY (oracle check 5).
+    monitor = gateway.enable_resilience()
 
     taps: Dict[str, ChaosTap] = {}
     for role, link in links.items():
@@ -173,6 +178,7 @@ def build_world(profile: str, seed: int) -> ChaosWorld:
         taps=taps,
         log=FaultLog(),
         mid_mtu=mid_mtu,
+        monitor=monitor,
     )
 
 
@@ -298,6 +304,8 @@ def _await_handshakes(world: ChaosWorld, listeners: list, horizon: float = 4.0) 
 
 def _check_common(world: ChaosWorld, oracle: InvariantOracle) -> None:
     oracle.check_gateway_stats(world.gateway)
+    if world.monitor is not None:
+        oracle.check_recovery(world.monitor)
     oracle.check_segment_sizes(world.taps["int_in"], _IMTU, _INSIDE_MSS)
     oracle.check_segment_sizes(world.taps["int_out"], _IMTU, _INSIDE_MSS)
     oracle.check_segment_sizes(world.taps["ext_in"], _EMTU, _OUTSIDE_MSS)
@@ -445,6 +453,8 @@ def _run_pmtud(world: ChaosWorld, oracle: InvariantOracle) -> Dict[str, object]:
     true_min = min(_EMTU, world.mid_mtu or _EMTU)
     oracle.check_pmtud(results, true_min)
     oracle.check_gateway_stats(world.gateway)
+    if world.monitor is not None:
+        oracle.check_recovery(world.monitor)
     oracle.check_segment_sizes(world.taps["ext_in"], _EMTU)
     oracle.check_segment_sizes(world.taps["far_in"], world.mid_mtu or _EMTU)
     return {
@@ -498,6 +508,8 @@ def run_scenario(
 
     oracle = InvariantOracle()
     notes = _WORKLOADS[profile](world, oracle)
+    if world.monitor is not None:
+        notes["health"] = world.monitor.summary()
     return ScenarioResult(
         profile=profile,
         seed=seed,

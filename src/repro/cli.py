@@ -46,6 +46,17 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--seed", type=int, default=42)
 
     commands.add_parser("fig5a", help="PXGW throughput/yield (abridged Figure 5a)")
+
+    report = commands.add_parser(
+        "resilience-report",
+        help="run a chaos scenario + discovery/negotiation demos, dump "
+             "health transitions and retry counters as JSON",
+    )
+    report.add_argument("--profile", default="mixed",
+                        help="chaos profile (tcp/caravan/mixed/pmtud)")
+    report.add_argument("--seed", type=int, default=101)
+    report.add_argument("--indent", type=int, default=2,
+                        help="JSON indent (0 for compact)")
     return parser
 
 
@@ -185,12 +196,103 @@ def _cmd_fig5a(args) -> int:
     return 0
 
 
+def _cmd_resilience_report(args) -> int:
+    """Exercise the resilience layer end to end and emit one JSON blob:
+    gateway health transitions under chaos, the PMTU fallback chain's
+    retry counters, and a caravan-negotiation round."""
+    import json
+
+    from .chaos import run_scenario
+    from .core import GatewayConfig, PXGateway
+    from .net import Topology
+    from .pmtud import FPmtudDaemon, Plpmtud, ProbeEchoDaemon
+    from .resilience import BackoffPolicy, CaravanNegotiator, ResilientPmtud
+
+    # 1. A chaos scenario with the health monitor attached.
+    result = run_scenario(args.profile, args.seed)
+
+    # 2. The discovery fallback chain: a clean path (F-PMTUD wins) and
+    #    a fragment blackhole (retries, then PLPMTUD) share one resolver
+    #    so the counters show the whole chain.
+    topo = Topology()
+    client = topo.add_host("client")
+    clean = topo.add_host("clean")
+    dark = topo.add_host("dark")
+    r0 = topo.add_router("r0")
+    r1 = topo.add_router("r1", filter_fragments=True)
+    topo.link(client, r0, mtu=9000, delay=0.0005)
+    topo.link(r0, clean, mtu=1400, delay=0.0005)
+    topo.link(r0, r1, mtu=1400, delay=0.0005)
+    topo.link(r1, dark, mtu=1400, delay=0.0005)
+    topo.build_routes()
+    for server in (clean, dark):
+        FPmtudDaemon(server)
+        ProbeEchoDaemon(server)
+    resolver = ResilientPmtud(
+        client,
+        backoff=BackoffPolicy(initial=0.05, multiplier=2.0, max_delay=0.5,
+                              jitter=0.0, max_attempts=2),
+        fpmtud_timeout=0.2,
+        plpmtud=Plpmtud(client, probe_timeout=0.2),
+    )
+    outcomes = []
+    resolver.discover(clean.ip, 9000, outcomes.append)
+    resolver.discover(dark.ip, 9000, outcomes.append)
+    topo.run(until=30.0)
+
+    # 3. One caravan-negotiation round: a capable inside peer and a
+    #    silent (un-upgraded) outside peer.
+    neg_topo = Topology()
+    inside = neg_topo.add_host("inside")
+    outside = neg_topo.add_host("outside")
+    gateway = PXGateway(neg_topo.sim, "pxgw", config=GatewayConfig())
+    neg_topo.add_node(gateway)
+    neg_topo.link(inside, gateway, mtu=9000)
+    neg_topo.link(gateway, outside, mtu=1500)
+    neg_topo.build_routes()
+    inside.enable_caravan_stack(9000)
+    negotiator = CaravanNegotiator(
+        gateway,
+        query_timeout=0.1,
+        backoff=BackoffPolicy(initial=0.05, multiplier=2.0, max_delay=0.5,
+                              jitter=0.0, max_attempts=2),
+    )
+    negotiator.allow_caravan(inside.ip, neg_topo.sim.now)
+    negotiator.allow_caravan(outside.ip, neg_topo.sim.now)
+    neg_topo.run(until=2.0)
+
+    report = {
+        "scenario": {
+            "profile": result.profile,
+            "seed": result.seed,
+            "ok": result.ok,
+            "violations": result.violations,
+            "faults_fired": result.faults_fired,
+        },
+        "health": result.notes.get("health"),
+        "discovery": {
+            "outcomes": [
+                {"pmtu": o.pmtu, "source": o.source,
+                 "fpmtud_attempts": o.fpmtud_attempts,
+                 "fpmtud_timeouts": o.fpmtud_timeouts,
+                 "elapsed": round(o.elapsed, 4), "trail": o.trail}
+                for o in outcomes
+            ],
+            "counters": resolver.summary(),
+        },
+        "negotiation": negotiator.summary(),
+    }
+    print(json.dumps(report, indent=args.indent or None))
+    return 0
+
+
 _COMMANDS = {
     "gateway": _cmd_gateway,
     "pmtud": _cmd_pmtud,
     "upf": _cmd_upf,
     "survey": _cmd_survey,
     "fig5a": _cmd_fig5a,
+    "resilience-report": _cmd_resilience_report,
 }
 
 

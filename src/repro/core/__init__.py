@@ -18,7 +18,7 @@ from .mss_clamp import MssClamp
 from .stats import GatewayStats
 from .tcp_merge import TcpMergeEngine
 from .tcp_split import TcpSplitEngine
-from .worker import GatewayWorker
+from .worker import GatewayWorker, WorkerMode
 
 __all__ = [
     "GatewayConfig",
@@ -29,6 +29,7 @@ __all__ = [
     "IMTU_EXCHANGE_PORT",
     "GatewayDatapath",
     "GatewayWorker",
+    "WorkerMode",
     "GatewayStats",
     "FlowTable",
     "FlowState",

@@ -249,6 +249,21 @@ class CaravanMergeEngine:
             emitted.extend(self._flush_key(key))
         return emitted
 
+    def export_pending(self) -> List[Packet]:
+        """Materialized copies of every pending context, non-destructive.
+
+        The live contexts are untouched; a single-datagram context is
+        exported as a *copy* so the checkpoint never aliases a packet
+        the datapath may still emit.
+        """
+        out: List[Packet] = []
+        for context in self._contexts.values():
+            if len(context.packets) == 1:
+                out.append(context.packets[0].copy())
+            else:
+                out.append(encode_caravan(list(context.packets)))
+        return out
+
     def pending_packets(self) -> int:
         """Datagrams currently held in contexts."""
         return sum(len(context.packets) for context in self._contexts.values())

@@ -59,6 +59,13 @@ class GatewayConfig:
     merge_contexts_per_worker: int = 4096
     workers: int = 8
     poll_batch: int = 64
+    #: Lifetime of learned PMTU-cache entries (resilience layer).
+    pmtu_cache_ttl: float = 30.0
+    #: How long a peer's proven caravan capability is trusted.
+    caravan_positive_ttl: float = 60.0
+    #: How long a silent peer stays in the caravan negative cache
+    #: before re-probing (an upgraded host is re-discovered after this).
+    caravan_negative_ttl: float = 5.0
 
     def __post_init__(self):
         if self.imtu <= self.emtu:

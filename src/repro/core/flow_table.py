@@ -93,6 +93,33 @@ class FlowTable:
         """Delete and return a flow record."""
         return self._flows.pop(key, None)
 
+    def snapshot(self) -> list:
+        """Serialize every flow record, preserving LRU order.
+
+        The result is plain tuples (no live references), safe to hold
+        across arbitrary simulated time for failover.
+        """
+        return [
+            (state.key, state.packets, state.bytes, state.first_seen,
+             state.last_seen, state.is_elephant, state.window_packets,
+             state.window_start)
+            for state in self._flows.values()
+        ]
+
+    def restore(self, records: list) -> None:
+        """Replace the table's contents with *records* from snapshot()."""
+        self._flows.clear()
+        for (key, packets, nbytes, first_seen, last_seen,
+             is_elephant, window_packets, window_start) in records:
+            state = FlowState(key, first_seen)
+            state.packets = packets
+            state.bytes = nbytes
+            state.last_seen = last_seen
+            state.is_elephant = is_elephant
+            state.window_packets = window_packets
+            state.window_start = window_start
+            self._flows[key] = state
+
     def expire_idle(self, now: float, idle_timeout: float) -> int:
         """Drop flows idle past *idle_timeout*; returns count removed."""
         stale = [key for key, state in self._flows.items()

@@ -57,6 +57,10 @@ class PXGateway(Router):
         self._imtu_speaker = None
         self._stall_until = 0.0
         self._stalled: list = []
+        self._local_udp: dict = {}
+        self.health = None
+        self.negotiator = None
+        self.pmtu_cache = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -91,6 +95,63 @@ class PXGateway(Router):
         self._imtu_speaker = ImtuSpeaker(self, interval=interval, hold_time=hold_time)
         self._imtu_speaker.start()
         return self._imtu_speaker
+
+    # ------------------------------------------------------------------
+    # Resilience layer
+    # ------------------------------------------------------------------
+    def register_local_udp(self, port: int, handler) -> None:
+        """Route locally-addressed UDP on *port* to *handler*.
+
+        *handler* is called as ``handler(packet, interface)``; used by
+        control protocols the gateway itself speaks (caravan capability
+        negotiation, etc.).
+        """
+        self._local_udp[port] = handler
+
+    def enable_resilience(self, policy=None, negotiation: bool = False):
+        """Attach the resilience layer: health monitor, PMTU cache, and
+        (optionally) caravan capability negotiation.
+
+        Returns the started :class:`repro.resilience.HealthMonitor`.
+        """
+        from ..resilience.health import HealthMonitor
+        from ..resilience.negotiation import CaravanNegotiator
+
+        self.attach_pmtu_cache()
+        if negotiation and self.negotiator is None:
+            self.negotiator = CaravanNegotiator(
+                self,
+                positive_ttl=self.config.caravan_positive_ttl,
+                negative_ttl=self.config.caravan_negative_ttl,
+            )
+            self.worker.caravan_gate = self.negotiator.allow_caravan
+        self.health = HealthMonitor(self, policy=policy).start()
+        return self.health
+
+    def attach_pmtu_cache(self, cache=None):
+        """Install a live PMTU cache, flushed on any routing change."""
+        if cache is None:
+            if self.pmtu_cache is not None:
+                return self.pmtu_cache
+            from ..resilience.pmtu_cache import PmtuCache
+
+            cache = PmtuCache(default_ttl=self.config.pmtu_cache_ttl)
+        self.pmtu_cache = cache
+        self.worker.pmtu_cache = cache
+        cache.watch(self.routes)
+        return cache
+
+    def swap_worker(self, new_worker) -> "GatewayWorker":
+        """Replace the datapath worker (failover); returns the old one.
+
+        The new worker inherits the resilience hooks so a takeover does
+        not silently drop the PMTU clamp or the caravan gate.
+        """
+        old, self.worker = self.worker, new_worker
+        new_worker.pmtu_cache = self.pmtu_cache
+        if self.negotiator is not None:
+            new_worker.caravan_gate = self.negotiator.allow_caravan
+        return old
 
     # ------------------------------------------------------------------
     # Fault injection: worker stalls
@@ -134,6 +195,11 @@ class PXGateway(Router):
                 packet, interface
             ):
                 return
+            if packet.is_udp and not packet.is_fragment:
+                handler = self._local_udp.get(packet.udp.dst_port)
+                if handler is not None:
+                    handler(packet, interface)
+                    return
             self._deliver_local(packet, interface)
             return
 

@@ -36,11 +36,14 @@ class MssClamp:
     def outside_mss(self) -> int:
         return self.config.emtu - 40
 
-    def process(self, packet: Packet, bound: str) -> bool:
+    def process(self, packet: Packet, bound: str, allow_raise: bool = True) -> bool:
         """Rewrite the MSS option in place if warranted.
 
         Returns True when a rewrite happened.  Non-SYN packets and
-        packets without an MSS option are untouched.
+        packets without an MSS option are untouched.  With
+        ``allow_raise=False`` (a degraded gateway that will not merge)
+        the inbound raise is skipped; the outbound cap is always
+        applied — it is a correctness bound, not an optimization.
         """
         if not packet.is_tcp or not packet.tcp.syn:
             return False
@@ -48,6 +51,8 @@ class MssClamp:
         if current is None:
             return False
         if bound == Bound.INBOUND:
+            if not allow_raise:
+                return False
             target = self.inside_mss
             if current < target:
                 packet.tcp.replace_mss(target)

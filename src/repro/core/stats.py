@@ -28,6 +28,13 @@ class GatewayStats:
     #: Packets charged at full-DMA rates because the on-NIC memory was
     #: exhausted while header-only DMA was enabled.
     hdo_fallbacks: int = 0
+    #: Data packets forwarded unmerged because the worker was DEGRADED.
+    passthrough_packets: int = 0
+    #: Packets hairpinned past the whole pipeline in BYPASS mode.
+    bypassed_packets: int = 0
+    #: Datagrams sent plain because caravan negotiation withheld
+    #: bundling toward their peer.
+    caravans_suppressed: int = 0
     #: TCP payload bytes offered to / emitted by the merge+split engines.
     #: Both engines conserve payload bytes exactly, so at any instant
     #: ``tcp_payload_in == tcp_payload_out + merge.pending_bytes()``.
@@ -123,6 +130,9 @@ class GatewayStats:
         self.hairpinned += other.hairpinned
         self.mss_rewrites += other.mss_rewrites
         self.hdo_fallbacks += other.hdo_fallbacks
+        self.passthrough_packets += other.passthrough_packets
+        self.bypassed_packets += other.bypassed_packets
+        self.caravans_suppressed += other.caravans_suppressed
         self.tcp_payload_in += other.tcp_payload_in
         self.tcp_payload_out += other.tcp_payload_out
         self.udp_datagrams_in += other.udp_datagrams_in

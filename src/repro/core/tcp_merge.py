@@ -93,6 +93,26 @@ class StreamContext:
         self.base_seq = (self.base_seq + len(payload)) % _SEQ_MOD
         return segment
 
+    def export_segment(self) -> Packet:
+        """A materialized copy of the whole buffer, without consuming it.
+
+        Used by failover checkpoints: the running context keeps its
+        bytes; the checkpoint holds an emittable duplicate.
+        """
+        payload = b"".join(self.chunks)
+        segment = self.template.copy()
+        segment.payload = payload
+        segment.tcp.seq = self.base_seq
+        segment.tcp.ack = self.last_ack
+        segment.tcp.window = self.last_window
+        segment.tcp.flags = TCPFlags.ACK
+        segment.ip.identification = next_ip_id()
+        segment.ip.total_length = (
+            segment.ip.header_len + segment.tcp.header_len + len(payload)
+        )
+        segment.meta["spliced"] = True
+        return segment
+
 
 class TcpMergeEngine:
     """Splices per-flow TCP streams into ``target_payload``-sized segments."""
@@ -195,6 +215,17 @@ class TcpMergeEngine:
         for key in stale:
             emitted.extend(self._flush_key(key))
         return emitted
+
+    def export_pending(self) -> List[Packet]:
+        """Materialized copies of every pending context, non-destructive.
+
+        The live contexts are untouched; see failover checkpoints.
+        """
+        return [
+            context.export_segment()
+            for context in self._contexts.values()
+            if context.buffered > 0
+        ]
 
     def pending_bytes(self) -> int:
         """Payload bytes currently buffered across all flows."""

@@ -7,7 +7,7 @@ segmentation "inherently scalable" in contrast to merging.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..packet import Packet
 from ..nic.offloads import segment_tcp
@@ -24,12 +24,23 @@ class TcpSplitEngine:
         self.emtu = emtu
         self.split_packets = 0
         self.output_segments = 0
+        self.pmtu_clamped = 0
 
-    def process(self, packet: Packet) -> List[Packet]:
-        """Return eMTU-conformant segments for *packet*."""
-        if not packet.is_tcp or packet.total_len <= self.emtu:
+    def process(self, packet: Packet, limit: Optional[int] = None) -> List[Packet]:
+        """Return path-conformant segments for *packet*.
+
+        *limit* is a live per-destination PMTU (from the resilience
+        cache); when it is tighter than the configured eMTU, segments
+        are cut to it — a flow whose MSS predates a PMTU drop must not
+        emit packets the narrowed path will blackhole.
+        """
+        mtu = self.emtu
+        if limit is not None and limit < mtu:
+            mtu = limit
+            self.pmtu_clamped += 1
+        if not packet.is_tcp or packet.total_len <= mtu:
             return [packet]
-        mss = self.emtu - packet.ip.header_len - packet.tcp.header_len
+        mss = mtu - packet.ip.header_len - packet.tcp.header_len
         segments = segment_tcp(packet, mss)
         if len(segments) > 1:
             self.split_packets += 1

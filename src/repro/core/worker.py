@@ -28,7 +28,27 @@ from .stats import GatewayStats
 from .tcp_merge import TcpMergeEngine
 from .tcp_split import TcpSplitEngine
 
-__all__ = ["GatewayWorker"]
+__all__ = ["GatewayWorker", "WorkerMode"]
+
+
+class WorkerMode:
+    """Datapath operating modes, set by the resilience health monitor.
+
+    * **NORMAL** — the full pipeline.
+    * **DEGRADED** — stateful merging and MSS raising are off; traffic
+      passes through at the eMTU it arrived with.  Splitting and
+      caravan opening stay on (stateless, required for correctness).
+    * **BYPASS** — everything hairpins past the classifier and flow
+      state.  Only the mandatory pieces survive: the outbound MSS cap,
+      the split engine, and caravan opening — without them a sick
+      gateway would blackhole over-MTU packets instead of degrading.
+    """
+
+    NORMAL = "normal"
+    DEGRADED = "degraded"
+    BYPASS = "bypass"
+
+    ALL = (NORMAL, DEGRADED, BYPASS)
 
 
 class GatewayWorker:
@@ -62,6 +82,32 @@ class GatewayWorker:
         )
         self.stats = GatewayStats()
         self.account = CycleAccount()
+        self.mode = WorkerMode.NORMAL
+        #: Optional live PMTU store (repro.resilience.PmtuCache); when
+        #: set, outbound splits are clamped to the cached path MTU.
+        self.pmtu_cache = None
+        #: Optional callable ``(peer_ip, now) -> bool`` consulted before
+        #: bundling datagrams toward a peer (caravan negotiation).
+        self.caravan_gate = None
+
+    # ------------------------------------------------------------------
+    def set_mode(self, mode: str, now: float) -> List[Packet]:
+        """Switch datapath mode; returns packets flushed by the switch.
+
+        Leaving NORMAL flushes every pending merge context — the
+        degraded pipeline will never touch them again, and degradation
+        must lose zero bytes.  The caller forwards the returned packets
+        (they are inbound: only the merge engines hold state).
+        """
+        if mode not in WorkerMode.ALL:
+            raise ValueError(f"unknown worker mode {mode!r}")
+        if mode == self.mode:
+            return []
+        self.mode = mode
+        if mode == WorkerMode.NORMAL:
+            return []
+        flushed = self.merge.flush() + self.caravan_merge.flush()
+        return self._emit(self._account_flush(flushed), Bound.INBOUND, data=True)
 
     # ------------------------------------------------------------------
     def process(self, packet: Packet, bound: str, now: float = 0.0) -> List[Packet]:
@@ -69,6 +115,9 @@ class GatewayWorker:
         costs = self.costs
         self.stats.rx_packets += 1
         self.account.note_packet(packet.total_len)
+
+        if self.mode == WorkerMode.BYPASS:
+            return self._bypass(packet, bound, now)
 
         key = packet.flow_key()
         state = None
@@ -79,7 +128,9 @@ class GatewayWorker:
         # Handshake packets always take the slow path: MSS intervention.
         if packet.is_tcp and packet.tcp.syn:
             self.account.charge(costs.rx_descriptor + costs.flow_lookup, category="slowpath")
-            if self.config.mss_clamp and self.mss_clamp.process(packet, bound):
+            if self.config.mss_clamp and self.mss_clamp.process(
+                packet, bound, allow_raise=self.mode == WorkerMode.NORMAL
+            ):
                 self.stats.mss_rewrites += 1
             return self._emit([packet], bound, data=False)
 
@@ -114,7 +165,7 @@ class GatewayWorker:
         if packet.is_tcp:
             if bound == Bound.INBOUND:
                 return self._tcp_inbound(packet, now)
-            return self._tcp_outbound(packet)
+            return self._tcp_outbound(packet, now)
         if packet.is_udp:
             if bound == Bound.INBOUND:
                 return self._udp_inbound(packet, now)
@@ -124,13 +175,56 @@ class GatewayWorker:
         return self._emit([packet], bound, data=False)
 
     # ------------------------------------------------------------------
+    def _bypass(self, packet: Packet, bound: str, now: float) -> List[Packet]:
+        """BYPASS mode: hairpin everything, keep only mandatory work."""
+        costs = self.costs
+        self.account.charge(costs.hairpin_forward, category="bypass")
+        self.stats.bypassed_packets += 1
+        if packet.is_tcp and packet.tcp.syn:
+            # The outbound cap stays mandatory: an uncapped external
+            # peer would learn an MSS the external path cannot carry.
+            if self.config.mss_clamp and self.mss_clamp.process(
+                packet, bound, allow_raise=False
+            ):
+                self.stats.mss_rewrites += 1
+            return self._emit([packet], bound, data=False)
+        if packet.is_tcp:
+            self.stats.tcp_payload_in += len(packet.payload)
+            if bound == Bound.OUTBOUND:
+                segments = self.split.process(packet, limit=self._path_limit(packet, now))
+                self.stats.split_segments += len(segments) if len(segments) > 1 else 0
+            else:
+                segments = [packet]
+            self.stats.tcp_payload_out += sum(len(seg.payload) for seg in segments)
+            return self._emit(segments, bound, data=True)
+        if packet.is_udp:
+            self.stats.udp_datagrams_in += caravan_inner_count(packet)
+            if bound == Bound.OUTBOUND and is_caravan(packet):
+                return self._open_caravan(packet)
+            self.stats.udp_datagrams_out += caravan_inner_count(packet)
+            return self._emit([packet], bound, data=True)
+        return self._emit([packet], bound, data=False)
+
+    def _path_limit(self, packet: Packet, now: float):
+        """The live cached PMTU toward this packet's destination."""
+        if self.pmtu_cache is None:
+            return None
+        entry = self.pmtu_cache.lookup(packet.ip.dst, now)
+        return entry.pmtu if entry is not None else None
+
+    # ------------------------------------------------------------------
     def _tcp_inbound(self, packet: Packet, now: float) -> List[Packet]:
         costs = self.costs
+        self.stats.tcp_payload_in += len(packet.payload)
+        if self.mode != WorkerMode.NORMAL:
+            # DEGRADED: stateful merging is off; pass through at eMTU.
+            self.stats.passthrough_packets += 1
+            self.stats.tcp_payload_out += len(packet.payload)
+            return self._emit([packet], Bound.INBOUND, data=True)
         if self.config.baseline_gro:
             self.account.charge(costs.baseline_gro_per_packet, category="gro-sw")
         else:
             self.account.charge(costs.flow_lookup + costs.merge_append, category="merge")
-        self.stats.tcp_payload_in += len(packet.payload)
         outputs = self.merge.feed(packet, now)
         for out in outputs:
             self.account.charge(costs.merge_flush, category="merge")
@@ -139,10 +233,13 @@ class GatewayWorker:
                 self.stats.merged_packets += 1
         return self._emit(outputs, Bound.INBOUND, data=True)
 
-    def _tcp_outbound(self, packet: Packet) -> List[Packet]:
+    def _tcp_outbound(self, packet: Packet, now: float) -> List[Packet]:
         costs = self.costs
         self.stats.tcp_payload_in += len(packet.payload)
-        segments = self.split.process(packet)
+        # Clamp to the live cached path MTU: a flow whose MSS was
+        # negotiated before a PMTU drop would otherwise emit segments
+        # the narrowed path silently blackholes.
+        segments = self.split.process(packet, limit=self._path_limit(packet, now))
         if self.config.baseline_gro and len(segments) > 1:
             self.account.charge(costs.baseline_tx_per_packet * len(segments), category="tso-sw")
         self.account.charge(costs.split_per_segment * len(segments), category="split")
@@ -153,7 +250,17 @@ class GatewayWorker:
     def _udp_inbound(self, packet: Packet, now: float) -> List[Packet]:
         costs = self.costs
         self.stats.udp_datagrams_in += caravan_inner_count(packet)
-        if not self.config.caravan:
+        bundling = self.config.caravan and self.mode == WorkerMode.NORMAL
+        if bundling and self.caravan_gate is not None and not self.caravan_gate(
+            packet.ip.dst, now
+        ):
+            # The peer has not (yet) proven it speaks PX-caravan: plain
+            # datagrams only.
+            bundling = False
+            self.stats.caravans_suppressed += 1
+        if not bundling:
+            if self.config.caravan and self.mode != WorkerMode.NORMAL:
+                self.stats.passthrough_packets += 1
             self.stats.udp_datagrams_out += caravan_inner_count(packet)
             return self._emit([packet], Bound.INBOUND, data=True)
         self.account.charge(costs.flow_lookup + costs.caravan_append, category="caravan")
@@ -166,25 +273,28 @@ class GatewayWorker:
         return self._emit(outputs, Bound.INBOUND, data=True)
 
     def _udp_outbound(self, packet: Packet) -> List[Packet]:
-        costs = self.costs
         self.stats.udp_datagrams_in += caravan_inner_count(packet)
         if is_caravan(packet):
-            try:
-                datagrams = self.caravan_split.process(packet)
-            except ValueError:
-                # A damaged bundle (truncated/garbled in transit) cannot
-                # be opened; discard it rather than emit garbage.
-                self.stats.malformed_caravans += 1
-                self.stats.udp_datagrams_malformed += caravan_inner_count(packet)
-                return []
-            self.stats.caravans_opened += 1
-            self.account.charge(
-                costs.caravan_split_per_datagram * len(datagrams), category="caravan"
-            )
-            self.stats.udp_datagrams_out += len(datagrams)
-            return self._emit(datagrams, Bound.OUTBOUND, data=True)
+            return self._open_caravan(packet)
         self.stats.udp_datagrams_out += 1
         return self._emit([packet], Bound.OUTBOUND, data=True)
+
+    def _open_caravan(self, packet: Packet) -> List[Packet]:
+        costs = self.costs
+        try:
+            datagrams = self.caravan_split.process(packet)
+        except ValueError:
+            # A damaged bundle (truncated/garbled in transit) cannot
+            # be opened; discard it rather than emit garbage.
+            self.stats.malformed_caravans += 1
+            self.stats.udp_datagrams_malformed += caravan_inner_count(packet)
+            return []
+        self.stats.caravans_opened += 1
+        self.account.charge(
+            costs.caravan_split_per_datagram * len(datagrams), category="caravan"
+        )
+        self.stats.udp_datagrams_out += len(datagrams)
+        return self._emit(datagrams, Bound.OUTBOUND, data=True)
 
     # ------------------------------------------------------------------
     def end_batch(self, now: float) -> List[Packet]:
@@ -200,6 +310,10 @@ class GatewayWorker:
             flushed += self.caravan_merge.flush_older_than(now, self.config.merge_timeout)
         else:
             flushed = self.merge.flush() + self.caravan_merge.flush()
+        return self._emit(self._account_flush(flushed), Bound.INBOUND, data=True)
+
+    def _account_flush(self, flushed: List[Packet]) -> List[Packet]:
+        """Charge and count packets flushed out of the merge engines."""
         for out in flushed:
             self.account.charge(self.costs.merge_flush, category="merge")
             if out.is_tcp:
@@ -208,7 +322,7 @@ class GatewayWorker:
                 self.stats.udp_datagrams_out += caravan_inner_count(out)
             if is_caravan(out):
                 self.stats.caravans_built += 1
-        return self._emit(flushed, Bound.INBOUND, data=True)
+        return flushed
 
     def _is_data(self, packet: Packet) -> bool:
         if packet.is_tcp:

@@ -139,10 +139,19 @@ class Host(Node):
     # ------------------------------------------------------------------
     def enable_caravan_stack(self, imtu: int = 9000) -> None:
         """Turn on the b-network host stack: transparent caravan RX
-        decode plus iMTU-sized TX bundling via :meth:`send_udp_bulk`."""
+        decode plus iMTU-sized TX bundling via :meth:`send_udp_bulk`.
+
+        Also answers gateway capability queries (resilience layer), so
+        a negotiating PXGW learns this host may receive caravans; an
+        unmodified host stays silent and lands in the negative cache.
+        """
         if imtu <= 576:
             raise ValueError(f"implausible iMTU {imtu}")
         self.caravan_imtu = imtu
+
+        from ..resilience.negotiation import CARAVAN_CAP_PORT, make_cap_responder
+
+        self.on_udp(CARAVAN_CAP_PORT, make_cap_responder(imtu))
 
     def send_udp_bulk(self, dst: int, src_port: int, dst_port: int,
                       datagrams: "List[bytes]") -> int:

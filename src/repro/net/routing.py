@@ -36,6 +36,20 @@ class RoutingTable:
 
     def __init__(self):
         self._routes: List[Route] = []
+        self._listeners: List = []
+
+    def on_change(self, callback) -> None:
+        """Call *callback* (no args) after any table modification.
+
+        The resilience PMTU cache uses this to invalidate itself on
+        route change: a cached path MTU describes a path that may no
+        longer exist.
+        """
+        self._listeners.append(callback)
+
+    def _notify(self) -> None:
+        for callback in self._listeners:
+            callback()
 
     def add(self, prefix: str, interface: Interface, metric: int = 0) -> Route:
         """Install ``prefix`` (e.g. ``"10.1.0.0/16"``) via *interface*."""
@@ -43,6 +57,7 @@ class RoutingTable:
         route = Route(network=network, mask=mask, interface=interface, metric=metric)
         self._routes.append(route)
         self._routes.sort(key=lambda r: (-r.prefix_len, r.metric))
+        self._notify()
         return route
 
     def add_default(self, interface: Interface) -> Route:
@@ -65,11 +80,17 @@ class RoutingTable:
             for route in self._routes
             if not (route.network == network and route.mask == mask)
         ]
-        return before - len(self._routes)
+        removed = before - len(self._routes)
+        if removed:
+            self._notify()
+        return removed
 
     def clear(self) -> None:
         """Remove every route."""
+        had_routes = bool(self._routes)
         self._routes.clear()
+        if had_routes:
+            self._notify()
 
     def __len__(self) -> int:
         return len(self._routes)

@@ -1,0 +1,45 @@
+"""Degrade-don't-die machinery for the PX datapath (guide: `docs/RESILIENCE.md`).
+
+Four cooperating pieces:
+
+* :mod:`~repro.resilience.health` — the per-gateway HEALTHY → DEGRADED
+  → BYPASS state machine driven by watchdog heartbeats;
+* :mod:`~repro.resilience.discovery` — the PMTU fallback chain
+  (F-PMTUD → PLPMTUD → conservative 1500 B) with retry/backoff and a
+  TTL'd :mod:`~repro.resilience.pmtu_cache`;
+* :mod:`~repro.resilience.negotiation` — per-peer caravan capability
+  negotiation with a negative cache;
+* :mod:`~repro.resilience.failover` — flow-state checkpoints a standby
+  worker adopts mid-run.
+"""
+
+from .discovery import CONSERVATIVE_PMTU, DiscoveryOutcome, ResilientPmtud
+from .failover import (
+    FailoverManager,
+    WorkerCheckpoint,
+    checkpoint_worker,
+    restore_worker,
+)
+from .health import HealthMonitor, HealthPolicy, HealthState
+from .negotiation import CARAVAN_CAP_PORT, CaravanNegotiator
+from .pmtu_cache import PmtuCache, PmtuEntry
+from .retry import BackoffPolicy, RetryBudget
+
+__all__ = [
+    "BackoffPolicy",
+    "RetryBudget",
+    "PmtuCache",
+    "PmtuEntry",
+    "HealthState",
+    "HealthPolicy",
+    "HealthMonitor",
+    "CaravanNegotiator",
+    "CARAVAN_CAP_PORT",
+    "ResilientPmtud",
+    "DiscoveryOutcome",
+    "CONSERVATIVE_PMTU",
+    "FailoverManager",
+    "WorkerCheckpoint",
+    "checkpoint_worker",
+    "restore_worker",
+]

@@ -1,0 +1,117 @@
+"""The per-destination PMTU cache: TTL'd entries, route-change flush.
+
+Path MTU is a property of the *current* route, so a learned value has
+two expiry conditions:
+
+* **age** — RFC 1191 §6.3 recommends re-probing on the order of
+  minutes; every entry carries an absolute ``expires_at``;
+* **route change** — when the routing table under the gateway shifts,
+  a cached PMTU may describe a path that no longer exists.  The cache
+  can :meth:`watch` a :class:`repro.net.routing.RoutingTable` and
+  flushes itself on any change, which is strictly conservative (a
+  re-probe costs one RTT; a stale entry costs blackholed jumbos).
+
+The split engine consults the cache per packet (satellite fix: a flow
+whose MSS was re-clamped mid-stream must never be split to segments
+larger than the *live* path MTU), so :meth:`lookup` is a dict probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["PmtuEntry", "PmtuCache"]
+
+
+@dataclass
+class PmtuEntry:
+    """One cached path-MTU verdict."""
+
+    pmtu: int
+    learned_at: float
+    expires_at: float
+    #: How the value was obtained: "fpmtud", "plpmtud", "fallback",
+    #: or "static" (operator-installed).
+    source: str = "static"
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class PmtuCache:
+    """Destination-keyed PMTU store with TTL and invalidation."""
+
+    def __init__(self, default_ttl: float = 30.0):
+        if default_ttl <= 0:
+            raise ValueError("TTL must be positive")
+        self.default_ttl = default_ttl
+        self._entries: Dict[int, PmtuEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, dst: int) -> bool:
+        return dst in self._entries
+
+    def learn(
+        self,
+        dst: int,
+        pmtu: int,
+        now: float,
+        ttl: Optional[float] = None,
+        source: str = "static",
+    ) -> PmtuEntry:
+        """Record *pmtu* toward *dst*, valid for *ttl* seconds."""
+        if pmtu < 68:  # the IPv4 absolute minimum
+            raise ValueError(f"implausible PMTU {pmtu}")
+        entry = PmtuEntry(
+            pmtu=pmtu,
+            learned_at=now,
+            expires_at=now + (ttl if ttl is not None else self.default_ttl),
+            source=source,
+        )
+        self._entries[dst] = entry
+        return entry
+
+    def lookup(self, dst: int, now: float) -> Optional[PmtuEntry]:
+        """The live entry for *dst*, or None (miss or expired)."""
+        entry = self._entries.get(dst)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.expired(now):
+            del self._entries[dst]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def invalidate(self, dst: Optional[int] = None) -> int:
+        """Drop one destination's entry, or all of them; returns count."""
+        if dst is not None:
+            removed = 1 if self._entries.pop(dst, None) is not None else 0
+        else:
+            removed = len(self._entries)
+            self._entries.clear()
+        self.invalidations += removed
+        return removed
+
+    def watch(self, table) -> None:
+        """Flush the whole cache whenever *table* (a RoutingTable) changes."""
+        table.on_change(lambda: self.invalidate())
+
+    def summary(self) -> Dict[str, int]:
+        """Counters for the resilience report."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+        }

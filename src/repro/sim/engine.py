@@ -17,17 +17,40 @@ __all__ = ["Simulator", "EventHandle"]
 
 
 class EventHandle:
-    """A cancellable reference to a scheduled event."""
+    """A cancellable reference to a scheduled event.
 
-    __slots__ = ("time", "cancelled")
+    Handles carry their insertion sequence number and order by
+    ``(time, seq)``: two events at the *same* timestamp (seeded Netem
+    delay faults routinely collide) always pop in scheduling order, so
+    chaos replays stay byte-identical and heap comparison can never
+    fall through to an unorderable payload.
+    """
 
-    def __init__(self, time: float):
+    __slots__ = ("time", "seq", "cancelled")
+
+    def __init__(self, time: float, seq: int):
         self.time = time
+        self.seq = seq
         self.cancelled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
         self.cancelled = True
+
+    def _key(self) -> Tuple[float, int]:
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "EventHandle") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "EventHandle") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "EventHandle") -> bool:
+        return self._key() >= other._key()
 
 
 class Simulator:
@@ -56,8 +79,9 @@ class Simulator:
         """Run ``callback(*args)`` at absolute simulation *time*."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} (now={self._now})")
-        handle = EventHandle(time)
-        heapq.heappush(self._queue, (time, next(self._sequence), handle, callback, args))
+        seq = next(self._sequence)
+        handle = EventHandle(time, seq)
+        heapq.heappush(self._queue, (time, seq, handle, callback, args))
         return handle
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:

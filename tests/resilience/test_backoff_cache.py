@@ -1,0 +1,119 @@
+"""Retry primitives and the TTL'd PMTU cache."""
+
+import random
+
+import pytest
+
+from repro.net.routing import RoutingTable
+from repro.resilience import BackoffPolicy, PmtuCache, RetryBudget
+
+
+class TestBackoffPolicy:
+    def test_unjittered_delays_grow_and_cap(self):
+        policy = BackoffPolicy(initial=0.2, multiplier=2.0, max_delay=1.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.8)
+        assert policy.delay(4) == pytest.approx(1.0)  # capped
+        assert policy.delay(10) == pytest.approx(1.0)
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = BackoffPolicy(initial=0.5, multiplier=1.0, max_delay=5.0, jitter=0.2)
+        delays = [policy.delay(1, random.Random(7)) for _ in range(10)]
+        # Same seed -> same jittered delay (replayable experiments).
+        assert len(set(delays)) == 1
+        samples = {policy.delay(1, random.Random(seed)) for seed in range(50)}
+        assert all(0.4 <= d <= 0.6 for d in samples)
+        assert len(samples) > 10  # jitter actually varies across seeds
+
+    def test_exhaustion_is_attempt_based(self):
+        policy = BackoffPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(initial=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(0)
+
+
+class TestRetryBudget:
+    def test_take_until_exhausted(self):
+        budget = RetryBudget(3)
+        assert budget.take() and budget.take() and budget.take()
+        assert not budget.take()
+        assert budget.remaining == 0
+        assert budget.spent == 3
+
+    def test_unaffordable_take_charges_nothing(self):
+        budget = RetryBudget(2)
+        assert not budget.take(3)
+        assert budget.spent == 0
+        assert budget.take(2)
+
+    def test_rejects_empty_budget(self):
+        with pytest.raises(ValueError):
+            RetryBudget(0)
+
+
+class TestPmtuCache:
+    def test_learn_lookup_hit(self):
+        cache = PmtuCache(default_ttl=10.0)
+        cache.learn(0x0A000001, 1400, now=0.0, source="fpmtud")
+        entry = cache.lookup(0x0A000001, now=5.0)
+        assert entry is not None and entry.pmtu == 1400
+        assert entry.source == "fpmtud"
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_ttl_expiry(self):
+        cache = PmtuCache(default_ttl=10.0)
+        cache.learn(1, 1400, now=0.0)
+        assert cache.lookup(1, now=9.99) is not None
+        assert cache.lookup(1, now=10.0) is None  # expires_at is exclusive
+        assert cache.expirations == 1
+        assert 1 not in cache
+
+    def test_per_entry_ttl_overrides_default(self):
+        cache = PmtuCache(default_ttl=100.0)
+        cache.learn(1, 1400, now=0.0, ttl=1.0)
+        assert cache.lookup(1, now=2.0) is None
+
+    def test_invalidate_one_and_all(self):
+        cache = PmtuCache()
+        cache.learn(1, 1400, now=0.0)
+        cache.learn(2, 1300, now=0.0)
+        assert cache.invalidate(1) == 1
+        assert cache.invalidate(1) == 0
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+        assert cache.invalidations == 2
+
+    def test_implausible_pmtu_rejected(self):
+        cache = PmtuCache()
+        with pytest.raises(ValueError):
+            cache.learn(1, 60, now=0.0)
+
+    def test_route_change_flushes_watched_cache(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/8", None)
+        cache = PmtuCache()
+        cache.watch(table)
+        cache.learn(1, 1400, now=0.0)
+        table.add("192.0.2.0/24", None)
+        assert len(cache) == 0, "route add must flush the cache"
+        cache.learn(1, 1400, now=0.0)
+        table.remove_prefix("192.0.2.0/24")
+        assert len(cache) == 0, "route removal must flush the cache"
+        cache.learn(1, 1400, now=0.0)
+        table.remove_prefix("203.0.113.0/24")  # removes nothing
+        assert len(cache) == 1, "a no-op removal must not flush"
+        table.clear()
+        assert len(cache) == 0

@@ -1,0 +1,157 @@
+"""The PMTU discovery fallback chain: F-PMTUD → PLPMTUD → 1500 B.
+
+An ICMP *and* fragment blackhole used to hang F-PMTUD forever; the
+chain must converge on every path, just sometimes slowly.
+"""
+
+from repro.net import Topology
+from repro.pmtud import FPmtudDaemon, Plpmtud, ProbeEchoDaemon
+from repro.resilience import (
+    CONSERVATIVE_PMTU,
+    BackoffPolicy,
+    PmtuCache,
+    ResilientPmtud,
+)
+
+
+def chain_topology(mtus, filter_at=None, icmp_blackhole=False):
+    """client - r0 - r1 - ... - server; ``mtus[i]`` is link i's MTU.
+
+    ``filter_at`` names the router (by index) that silently drops IP
+    fragments — the classic PMTUD-hostile middlebox.
+    """
+    topo = Topology()
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    routers = [
+        topo.add_router(
+            f"r{index}",
+            icmp_blackhole=icmp_blackhole,
+            filter_fragments=(filter_at == index),
+        )
+        for index in range(len(mtus) - 1)
+    ]
+    chain = [client] + routers + [server]
+    for index, mtu in enumerate(mtus):
+        topo.link(chain[index], chain[index + 1], mtu=mtu, delay=0.0005)
+    topo.build_routes()
+    return topo, client, server
+
+
+def make_resilient(client, **kwargs):
+    kwargs.setdefault("backoff", BackoffPolicy(
+        initial=0.05, multiplier=2.0, max_delay=0.2, jitter=0.0, max_attempts=2
+    ))
+    kwargs.setdefault("fpmtud_timeout", 0.2)
+    kwargs.setdefault("plpmtud", Plpmtud(client, probe_timeout=0.2))
+    return ResilientPmtud(client, **kwargs)
+
+
+class TestFallbackChain:
+    def test_fpmtud_happy_path(self):
+        topo, client, server = chain_topology([9000, 1400, 9000])
+        FPmtudDaemon(server)
+        resolver = make_resilient(client)
+        outcomes = []
+        resolver.discover(server.ip, 9000, outcomes.append)
+        topo.run(until=5.0)
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert outcome.source == "fpmtud"
+        assert 1392 <= outcome.pmtu <= 1400  # 8 B fragment alignment
+        assert outcome.fpmtud_timeouts == 0
+        assert resolver.fpmtud_successes == 1
+        entry = resolver.cache.lookup(server.ip, topo.sim.now)
+        assert entry is not None and entry.source == "fpmtud"
+
+    def test_fragment_blackhole_falls_back_to_plpmtud(self):
+        # r0 fragments the jumbo probe onto the 1400 B segment; r1
+        # silently eats the fragments.  F-PMTUD can never hear back,
+        # but PLPMTUD's small DF probes sail through.
+        topo, client, server = chain_topology([9000, 1400, 1400], filter_at=1)
+        FPmtudDaemon(server)
+        ProbeEchoDaemon(server)
+        resolver = make_resilient(client)
+        outcomes = []
+        resolver.discover(server.ip, 9000, outcomes.append)
+        topo.run(until=30.0)
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert outcome.source == "plpmtud"
+        assert 1392 <= outcome.pmtu <= 1400
+        assert outcome.fpmtud_attempts == 2  # retried, then gave up
+        assert outcome.fpmtud_timeouts == 2
+        assert "plpmtud-start" in outcome.trail
+        assert resolver.plpmtud_fallbacks == 1
+
+    def test_total_blackhole_converges_conservative(self):
+        # No daemons at all: F-PMTUD times out, PLPMTUD's search never
+        # sees an ack (its floor is a guess, not a measurement), and
+        # the chain must still converge instead of hanging.
+        topo, client, server = chain_topology([9000, 1400, 1400], filter_at=1)
+        resolver = make_resilient(client, cache=PmtuCache(default_ttl=1000.0))
+        outcomes = []
+        resolver.discover(server.ip, 9000, outcomes.append)
+        topo.run(until=60.0)
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert outcome.source == "fallback"
+        assert outcome.pmtu == CONSERVATIVE_PMTU
+        assert "plpmtud-blackhole" in outcome.trail
+        assert resolver.conservative_fallbacks == 1
+        entry = resolver.cache.lookup(server.ip, topo.sim.now)
+        assert entry is not None and entry.source == "fallback"
+
+    def test_fallback_caps_at_local_mtu(self):
+        topo, client, server = chain_topology([1400, 1400], filter_at=0)
+        resolver = make_resilient(client)
+        outcomes = []
+        resolver.discover(server.ip, 1400, outcomes.append)
+        topo.run(until=60.0)
+        assert outcomes and outcomes[0].pmtu == 1400  # min(1500, local)
+
+    def test_probe_budget_short_circuits_retries(self):
+        topo, client, server = chain_topology([9000, 1400, 1400], filter_at=1)
+        ProbeEchoDaemon(server)
+        resolver = make_resilient(
+            client,
+            backoff=BackoffPolicy(initial=0.05, jitter=0.0, max_attempts=4),
+            probe_budget=1,
+        )
+        outcomes = []
+        resolver.discover(server.ip, 9000, outcomes.append)
+        topo.run(until=30.0)
+        assert outcomes and outcomes[0].fpmtud_attempts == 1
+        assert "fpmtud-budget-exhausted" in outcomes[0].trail
+
+    def test_cache_short_circuit_and_waiter_coalescing(self):
+        topo, client, server = chain_topology([9000, 1400, 9000])
+        FPmtudDaemon(server)
+        resolver = make_resilient(client)
+        outcomes = []
+        # Two requests while the first is in flight: one probe, both
+        # callbacks fire with the same converged outcome.
+        resolver.discover(server.ip, 9000, outcomes.append)
+        resolver.discover(server.ip, 9000, outcomes.append)
+        topo.run(until=5.0)
+        assert len(outcomes) == 2
+        assert outcomes[0] is outcomes[1]
+        assert resolver.discoveries == 1
+        # A third request after convergence is answered synchronously.
+        resolver.discover(server.ip, 9000, outcomes.append)
+        assert len(outcomes) == 3
+        assert outcomes[2].trail == ["cache-hit"]
+        assert resolver.cache_short_circuits == 1
+
+    def test_force_bypasses_cache(self):
+        topo, client, server = chain_topology([9000, 1400, 9000])
+        FPmtudDaemon(server)
+        resolver = make_resilient(client, cache=PmtuCache(default_ttl=1000.0))
+        outcomes = []
+        resolver.discover(server.ip, 9000, outcomes.append)
+        topo.run(until=5.0)
+        resolver.discover(server.ip, 9000, outcomes.append, force=True)
+        topo.run(until=10.0)
+        assert len(outcomes) == 2
+        assert outcomes[1].trail != ["cache-hit"]
+        assert resolver.discoveries == 2

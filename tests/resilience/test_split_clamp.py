@@ -1,0 +1,79 @@
+"""Outbound splits clamp to the live PMTU-cache entry (satellite fix).
+
+A flow whose MSS was negotiated before the path narrowed would keep
+emitting eMTU segments the path silently blackholes; the split engine
+must honor the freshest cached PMTU instead.
+"""
+
+from repro.core import Bound, GatewayConfig, GatewayWorker
+from repro.packet import build_tcp
+from repro.resilience import PmtuCache
+
+
+def make_worker(default_ttl: float = 30.0):
+    worker = GatewayWorker(GatewayConfig(hairpin_small_flows=False))
+    cache = PmtuCache(default_ttl=default_ttl)
+    worker.pmtu_cache = cache
+    return worker, cache
+
+
+def jumbo():
+    return build_tcp("10.1.0.1", "9.9.9.9", 80, 1, payload=b"y" * 8948)
+
+
+class TestSplitClamp:
+    def test_split_respects_cached_pmtu(self):
+        worker, cache = make_worker()
+        packet = jumbo()
+        cache.learn(packet.ip.dst, 1400, now=0.0, source="plpmtud")
+        outs = worker.process(packet, Bound.OUTBOUND, now=0.5)
+        assert len(outs) > 1
+        assert max(out.total_len for out in outs) <= 1400
+        assert worker.split.pmtu_clamped >= 1
+        assert not worker.stats.conservation_errors()
+
+    def test_no_entry_means_emtu(self):
+        worker, _ = make_worker()
+        outs = worker.process(jumbo(), Bound.OUTBOUND, now=0.0)
+        assert max(out.total_len for out in outs) <= 1500
+        # Without a clamp, splits fill the full eMTU.
+        assert max(out.total_len for out in outs) > 1400
+        assert worker.split.pmtu_clamped == 0
+
+    def test_mid_stream_pmtu_drop_reclamps(self):
+        worker, cache = make_worker()
+        before = worker.process(jumbo(), Bound.OUTBOUND, now=0.0)
+        assert max(out.total_len for out in before) > 1300
+        cache.learn(jumbo().ip.dst, 1300, now=1.0, source="fpmtud")
+        after = worker.process(jumbo(), Bound.OUTBOUND, now=1.5)
+        assert max(out.total_len for out in after) <= 1300
+        assert not worker.stats.conservation_errors()
+
+    def test_expired_entry_reverts_to_emtu(self):
+        worker, cache = make_worker(default_ttl=1.0)
+        packet = jumbo()
+        cache.learn(packet.ip.dst, 1300, now=0.0)
+        clamped = worker.process(jumbo(), Bound.OUTBOUND, now=0.5)
+        assert max(out.total_len for out in clamped) <= 1300
+        reverted = worker.process(jumbo(), Bound.OUTBOUND, now=2.0)
+        assert max(out.total_len for out in reverted) > 1300
+        assert cache.lookup(packet.ip.dst, now=2.0) is None
+
+    def test_limit_above_emtu_is_ignored(self):
+        worker, cache = make_worker()
+        packet = jumbo()
+        cache.learn(packet.ip.dst, 8000, now=0.0)
+        outs = worker.process(packet, Bound.OUTBOUND, now=0.1)
+        assert max(out.total_len for out in outs) <= 1500
+        assert worker.split.pmtu_clamped == 0
+
+    def test_bypass_mode_also_clamps(self):
+        from repro.core import WorkerMode
+
+        worker, cache = make_worker()
+        packet = jumbo()
+        cache.learn(packet.ip.dst, 1280, now=0.0)
+        worker.set_mode(WorkerMode.BYPASS, now=0.0)
+        outs = worker.process(packet, Bound.OUTBOUND, now=0.2)
+        assert max(out.total_len for out in outs) <= 1280
+        assert not worker.stats.conservation_errors()
