@@ -47,6 +47,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("fig5a", help="PXGW throughput/yield (abridged Figure 5a)")
 
+    bench = commands.add_parser(
+        "bench",
+        help="run the fast-path microbenchmarks, emit a BENCH JSON report",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads and fewer reps (CI mode)")
+    bench.add_argument("--reps", type=int, default=None,
+                       help="timed repetitions per bench (default 5, quick 3)")
+    bench.add_argument("--only", default=None,
+                       help="comma-separated subset of benchmark names")
+    bench.add_argument("--out", default=None,
+                       help="write the JSON report here instead of stdout")
+    bench.add_argument("--baseline", default=None,
+                       help="compare against this bench JSON and fail on regression")
+    bench.add_argument("--threshold", type=float, default=0.30,
+                       help="allowed fractional slowdown vs --baseline (default 0.30)")
+
     report = commands.add_parser(
         "resilience-report",
         help="run a chaos scenario + discovery/negotiation demos, dump "
@@ -196,6 +213,32 @@ def _cmd_fig5a(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from .perf import compare_reports, load_report, run_benchmarks, write_report
+
+    only = args.only.split(",") if args.only else None
+    report = run_benchmarks(quick=args.quick, reps=args.reps, only=only)
+    if args.out:
+        write_report(report, args.out)
+        for row in report["results"]:
+            print(f"{row['bench']:22s} {row['pkts_per_sec']:14,.0f} pkts/s "
+                  f"({row['ns_per_pkt']:10,.0f} ns/pkt, reps={row['reps']})")
+        print(f"report written to {args.out}")
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    if args.baseline:
+        results = compare_reports(load_report(args.baseline), report,
+                                  threshold=args.threshold)
+        for result in results:
+            print(result.line())
+        if any(result.regressed for result in results):
+            print(f"regression beyond {args.threshold:.0%} of baseline")
+            return 1
+    return 0
+
+
 def _cmd_resilience_report(args) -> int:
     """Exercise the resilience layer end to end and emit one JSON blob:
     gateway health transitions under chaos, the PMTU fallback chain's
@@ -292,6 +335,7 @@ _COMMANDS = {
     "upf": _cmd_upf,
     "survey": _cmd_survey,
     "fig5a": _cmd_fig5a,
+    "bench": _cmd_bench,
     "resilience-report": _cmd_resilience_report,
 }
 

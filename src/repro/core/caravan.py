@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
-from ..packet import PX_CARAVAN_TOS, Packet, UDPHeader
+from ..packet import PX_CARAVAN_TOS, IPProto, Packet, UDPHeader
 from ..packet.flow import FlowKey
 from ..packet.udp import UDP_HEADER_LEN
 
@@ -168,13 +168,19 @@ class CaravanMergeEngine:
         self.require_consecutive_ids = require_consecutive_ids
         self._contexts: "OrderedDict[FlowKey, _CaravanContext]" = OrderedDict()
         self.built = 0
+        # Running totals across contexts: the gateway checks pending
+        # state once per packet (flush timer, NIC memory budget), so
+        # these must not iterate the context table.
+        self._pending_packets = 0
+        self._pending_bytes = 0
 
     def __len__(self) -> int:
         return len(self._contexts)
 
     def feed(self, packet: Packet, now: float = 0.0) -> List[Packet]:
         """Offer one datagram; returns caravans (or datagrams) to emit."""
-        if not packet.is_udp or packet.is_fragment or is_caravan(packet):
+        ip = packet.ip
+        if ip.protocol != IPProto.UDP or ip.is_fragment or ip.tos == PX_CARAVAN_TOS:
             return [packet]
         key = packet.flow_key()
         context = self._contexts.get(key)
@@ -192,6 +198,8 @@ class CaravanMergeEngine:
             if compatible:
                 context.packets.append(packet)
                 context.bytes += record_len
+                self._pending_packets += 1
+                self._pending_bytes += record_len
                 context.next_ip_id = (packet.ip.identification + 1) & 0xFFFF
                 context.last_at = now
                 self._contexts.move_to_end(key)
@@ -214,8 +222,13 @@ class CaravanMergeEngine:
         emitted: List[Packet] = []
         if len(self._contexts) >= self.max_contexts:
             _key, evicted = self._contexts.popitem(last=False)
+            self._pending_packets -= len(evicted.packets)
+            self._pending_bytes -= evicted.bytes
             emitted.append(self._materialize(evicted))
-        self._contexts[key] = _CaravanContext(packet, now)
+        context = _CaravanContext(packet, now)
+        self._contexts[key] = context
+        self._pending_packets += 1
+        self._pending_bytes += context.bytes
         return emitted
 
     def _materialize(self, context: _CaravanContext) -> Packet:
@@ -228,12 +241,16 @@ class CaravanMergeEngine:
         context = self._contexts.pop(key, None)
         if context is None:
             return []
+        self._pending_packets -= len(context.packets)
+        self._pending_bytes -= context.bytes
         return [self._materialize(context)]
 
     def flush(self) -> List[Packet]:
         """Flush everything pending."""
         emitted = [self._materialize(context) for context in self._contexts.values()]
         self._contexts.clear()
+        self._pending_packets = 0
+        self._pending_bytes = 0
         return emitted
 
     def flush_older_than(self, now: float, max_age: float) -> List[Packet]:
@@ -265,12 +282,12 @@ class CaravanMergeEngine:
         return out
 
     def pending_packets(self) -> int:
-        """Datagrams currently held in contexts."""
-        return sum(len(context.packets) for context in self._contexts.values())
+        """Datagrams currently held in contexts (O(1))."""
+        return self._pending_packets
 
     def pending_bytes(self) -> int:
-        """Payload+record bytes currently held in contexts."""
-        return sum(context.bytes for context in self._contexts.values())
+        """Payload+record bytes currently held in contexts (O(1))."""
+        return self._pending_bytes
 
 
 class CaravanSplitEngine:

@@ -30,15 +30,19 @@ class FlowClassifier:
         self.window = window
         self.promotions = 0
 
-    def observe(self, packet: Packet, now: float = 0.0) -> FlowState:
-        """Account *packet* and return its (possibly promoted) flow state."""
+    def observe(self, packet: Packet, now: float = 0.0, size: "int | None" = None) -> FlowState:
+        """Account *packet* and return its (possibly promoted) flow state.
+
+        *size* is the packet's ``total_len`` when the caller already
+        computed it for its own accounting.
+        """
         key = packet.flow_key()
         if key is None:
             raise ValueError("cannot classify a packet without a flow key")
         state = self.table.lookup(key, now)
         if now - state.window_start > self.window:
             state.reset_window(now)
-        state.touch(packet.total_len, now)
+        state.touch(packet.total_len if size is None else size, now)
         if not state.is_elephant and state.window_packets >= self.threshold_packets:
             state.is_elephant = True
             self.promotions += 1

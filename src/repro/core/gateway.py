@@ -25,7 +25,7 @@ from ..net.router import Router
 from ..sim.engine import Simulator
 from ..sim.node import Interface
 from ..sim.trace import PacketTrace
-from ..packet import Packet
+from ..packet import IPProto, Packet
 from .config import Bound, GatewayConfig
 from .worker import GatewayWorker
 
@@ -190,7 +190,8 @@ class PXGateway(Router):
         self._process(packet, interface)
 
     def _process(self, packet: Packet, interface: Interface) -> None:
-        if self.owns_address(packet.ip.dst):
+        ip = packet.ip
+        if ip.dst in self._if_by_ip:
             if self._imtu_speaker is not None and self._imtu_speaker.handle(
                 packet, interface
             ):
@@ -203,13 +204,13 @@ class PXGateway(Router):
             self._deliver_local(packet, interface)
             return
 
-        route = self.routes.lookup(packet.ip.dst)
+        route = self.routes.lookup(ip.dst)
         if route is None:
             self.dropped += 1
             return
         egress = route.interface
 
-        if self.is_internal(egress):
+        if id(egress) in self._internal:
             bound = Bound.INBOUND
         elif (imtu := self._neighbor_imtu.get(id(egress))) is not None and imtu >= self.config.imtu:
             # Peer b-network advertised an equal-or-larger iMTU: forward
@@ -220,7 +221,9 @@ class PXGateway(Router):
         else:
             bound = Bound.OUTBOUND
 
-        if self._is_passthrough(packet):
+        # Passthrough only ever applies to UDP (probes/fragments), so
+        # gate the check on the protocol byte before paying for a call.
+        if ip.protocol == IPProto.UDP and self._is_passthrough(packet):
             self.forward(packet, arrived_on=interface)
             return
 
@@ -242,7 +245,10 @@ class PXGateway(Router):
     def _ensure_flush_timer(self) -> None:
         if self._flush_handle is not None:
             return
-        if self.worker.merge.pending_bytes() == 0 and self.worker.caravan_merge.pending_packets() == 0:
+        # Counter reads, not method calls: this runs after every
+        # processed packet.
+        worker = self.worker
+        if worker.merge._pending_bytes == 0 and worker.caravan_merge._pending_packets == 0:
             return
         self._flush_handle = self.sim.schedule(self.config.merge_timeout, self._on_flush_timer)
 

@@ -55,14 +55,16 @@ class MssClamp:
                 return False
             target = self.inside_mss
             if current < target:
-                packet.tcp.replace_mss(target)
+                # own_l4: the SYN may share its header with an upstream
+                # fork; materialize before rewriting in place.
+                packet.own_l4().replace_mss(target)
                 packet.meta["mss_raised_from"] = current
                 self.raised += 1
                 return True
             return False
         target = self.outside_mss
         if current > target:
-            packet.tcp.replace_mss(target)
+            packet.own_l4().replace_mss(target)
             packet.meta["mss_capped_from"] = current
             self.capped += 1
             return True

@@ -21,10 +21,10 @@ Conformance rules:
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import List, Optional
+from collections import OrderedDict, deque
+from typing import Deque, List, Optional
 
-from ..packet import Packet, TCPFlags
+from ..packet import IPProto, Packet, TCPFlags
 from ..packet.builder import next_ip_id
 from ..packet.flow import FlowKey
 
@@ -37,43 +37,62 @@ _SEQ_MOD = 1 << 32
 class StreamContext:
     """Buffered in-order bytes of one flow awaiting re-segmentation."""
 
-    __slots__ = ("template", "chunks", "buffered", "base_seq", "next_seq",
-                 "last_ack", "last_window", "created_at", "last_at", "spliced_packets")
+    __slots__ = ("template", "chunks", "head_offset", "buffered", "base_seq",
+                 "next_seq", "last_ack", "last_window", "created_at", "last_at",
+                 "spliced_packets")
 
     def __init__(self, packet: Packet, now: float):
+        tcp = packet.tcp
+        payload = packet.payload
         self.template = packet
-        self.chunks: List[bytes] = [packet.payload]
-        self.buffered = len(packet.payload)
-        self.base_seq = packet.tcp.seq
-        self.next_seq = (packet.tcp.seq + len(packet.payload)) % _SEQ_MOD
-        self.last_ack = packet.tcp.ack
-        self.last_window = packet.tcp.window
+        self.chunks: Deque[bytes] = deque((payload,))
+        #: Bytes of ``chunks[0]`` already consumed by :meth:`take` —
+        #: indexing instead of reslicing keeps partial takes O(taken).
+        self.head_offset = 0
+        self.buffered = len(payload)
+        self.base_seq = tcp.seq
+        self.next_seq = (tcp.seq + len(payload)) % _SEQ_MOD
+        self.last_ack = tcp.ack
+        self.last_window = tcp.window
         self.created_at = now
         self.last_at = now
         self.spliced_packets = 1
 
     def append(self, packet: Packet, now: float) -> None:
-        self.chunks.append(packet.payload)
-        self.buffered += len(packet.payload)
-        self.next_seq = (packet.tcp.seq + len(packet.payload)) % _SEQ_MOD
-        self.last_ack = packet.tcp.ack
-        self.last_window = packet.tcp.window
+        tcp = packet.tcp
+        payload = packet.payload
+        self.chunks.append(payload)
+        self.buffered += len(payload)
+        self.next_seq = (tcp.seq + len(payload)) % _SEQ_MOD
+        self.last_ack = tcp.ack
+        self.last_window = tcp.window
         self.last_at = now
         self.spliced_packets += 1
 
     def take(self, nbytes: int) -> bytes:
-        """Remove and return the first *nbytes* of buffered payload."""
+        """Remove and return the first *nbytes* of buffered payload.
+
+        ``deque.popleft`` keeps chunk draining O(1) per chunk (the old
+        ``list.pop(0)`` shifted the whole list, making a full drain
+        O(n²) in chunks); a partially consumed head chunk is tracked by
+        ``head_offset`` rather than resliced.
+        """
         out = bytearray()
-        while nbytes > 0 and self.chunks:
-            head = self.chunks[0]
-            if len(head) <= nbytes:
-                out.extend(head)
-                nbytes -= len(head)
-                self.chunks.pop(0)
+        chunks = self.chunks
+        offset = self.head_offset
+        while nbytes > 0 and chunks:
+            head = chunks[0]
+            available = len(head) - offset
+            if available <= nbytes:
+                out += head[offset:] if offset else head
+                nbytes -= available
+                chunks.popleft()
+                offset = 0
             else:
-                out.extend(head[:nbytes])
-                self.chunks[0] = head[nbytes:]
+                out += head[offset : offset + nbytes]
+                offset += nbytes
                 nbytes = 0
+        self.head_offset = offset
         self.buffered -= len(out)
         return bytes(out)
 
@@ -81,14 +100,14 @@ class StreamContext:
         """Emit one spliced segment starting at ``base_seq``."""
         segment = self.template.copy()
         segment.payload = payload
-        segment.tcp.seq = self.base_seq
-        segment.tcp.ack = self.last_ack
-        segment.tcp.window = self.last_window
-        segment.tcp.flags = TCPFlags.ACK
-        segment.ip.identification = next_ip_id()
-        segment.ip.total_length = (
-            segment.ip.header_len + segment.tcp.header_len + len(payload)
-        )
+        tcp = segment.tcp
+        ip = segment.ip
+        tcp.seq = self.base_seq
+        tcp.ack = self.last_ack
+        tcp.window = self.last_window
+        tcp.flags = TCPFlags.ACK
+        ip.identification = next_ip_id()
+        ip.total_length = ip.header_len + tcp.header_len + len(payload)
         segment.meta["spliced"] = True
         self.base_seq = (self.base_seq + len(payload)) % _SEQ_MOD
         return segment
@@ -99,17 +118,21 @@ class StreamContext:
         Used by failover checkpoints: the running context keeps its
         bytes; the checkpoint holds an emittable duplicate.
         """
-        payload = b"".join(self.chunks)
+        if self.head_offset:
+            rest = iter(self.chunks)
+            payload = next(rest)[self.head_offset :] + b"".join(rest)
+        else:
+            payload = b"".join(self.chunks)
         segment = self.template.copy()
         segment.payload = payload
-        segment.tcp.seq = self.base_seq
-        segment.tcp.ack = self.last_ack
-        segment.tcp.window = self.last_window
-        segment.tcp.flags = TCPFlags.ACK
-        segment.ip.identification = next_ip_id()
-        segment.ip.total_length = (
-            segment.ip.header_len + segment.tcp.header_len + len(payload)
-        )
+        tcp = segment.tcp
+        ip = segment.ip
+        tcp.seq = self.base_seq
+        tcp.ack = self.last_ack
+        tcp.window = self.last_window
+        tcp.flags = TCPFlags.ACK
+        ip.identification = next_ip_id()
+        ip.total_length = ip.header_len + tcp.header_len + len(payload)
         segment.meta["spliced"] = True
         return segment
 
@@ -125,6 +148,10 @@ class TcpMergeEngine:
         self._contexts: "OrderedDict[FlowKey, StreamContext]" = OrderedDict()
         self.spliced_out = 0
         self.evictions = 0
+        #: Running sum of ``context.buffered`` across all contexts, so
+        #: the per-packet ``pending_bytes`` checks (flush timer,
+        #: header-only DMA budget) never iterate the context table.
+        self._pending_bytes = 0
 
     def __len__(self) -> int:
         return len(self._contexts)
@@ -132,7 +159,8 @@ class TcpMergeEngine:
     # ------------------------------------------------------------------
     def feed(self, packet: Packet, now: float = 0.0) -> List[Packet]:
         """Offer one packet; returns segments ready to transmit."""
-        if not packet.is_tcp or packet.is_fragment:
+        ip = packet.ip
+        if ip.protocol != IPProto.TCP or ip.is_fragment:
             return [packet]
         tcp = packet.tcp
         key = packet.flow_key()
@@ -148,6 +176,7 @@ class TcpMergeEngine:
 
         if tcp.seq == context.next_seq:
             context.append(packet, now)
+            self._pending_bytes += len(packet.payload)
             self._contexts.move_to_end(key)
             return self._drain_full(key, context)
 
@@ -164,6 +193,7 @@ class TcpMergeEngine:
             self.evictions += 1
         context = StreamContext(packet, now)
         self._contexts[key] = context
+        self._pending_bytes += context.buffered
         emitted.extend(self._drain_full(key, context))
         return emitted
 
@@ -172,6 +202,7 @@ class TcpMergeEngine:
         emitted: List[Packet] = []
         while context.buffered >= self.target_payload:
             payload = context.take(self.target_payload)
+            self._pending_bytes -= len(payload)
             emitted.append(context.make_segment(payload))
             self.spliced_out += 1
             # The oldest remaining bytes arrived around the last append.
@@ -185,6 +216,7 @@ class TcpMergeEngine:
         if context is None or context.buffered == 0:
             return []
         payload = context.take(context.buffered)
+        self._pending_bytes -= len(payload)
         self.spliced_out += 1
         return [context.make_segment(payload)]
 
@@ -228,5 +260,5 @@ class TcpMergeEngine:
         ]
 
     def pending_bytes(self) -> int:
-        """Payload bytes currently buffered across all flows."""
-        return sum(context.buffered for context in self._contexts.values())
+        """Payload bytes currently buffered across all flows (O(1))."""
+        return self._pending_bytes

@@ -13,7 +13,7 @@ from typing import List
 
 from ..cpu import DEFAULT_GATEWAY_COSTS, CycleAccount, GatewayCosts
 from ..nic.dma import FULL_DMA, HEADER_ONLY_DMA
-from ..packet import Packet
+from ..packet import IPProto, PX_CARAVAN_TOS, Packet, TCPFlags
 from .caravan import (
     CaravanMergeEngine,
     CaravanSplitEngine,
@@ -113,8 +113,14 @@ class GatewayWorker:
     def process(self, packet: Packet, bound: str, now: float = 0.0) -> List[Packet]:
         """Run one packet through the pipeline; returns egress packets."""
         costs = self.costs
+        account = self.account
+        breakdown = account.breakdown
+        ip = packet.ip
+        proto = ip.protocol
+        size = packet.total_len
         self.stats.rx_packets += 1
-        self.account.note_packet(packet.total_len)
+        account.packets += 1
+        account.goodput_bytes += size
 
         if self.mode == WorkerMode.BYPASS:
             return self._bypass(packet, bound, now)
@@ -122,12 +128,20 @@ class GatewayWorker:
         key = packet.flow_key()
         state = None
         if key is not None:
-            self.account.charge(costs.classifier_per_packet, category="classify")
-            state = self.classifier.observe(packet, now)
+            # Cycle charges on this per-packet path are applied inline
+            # (equivalent to ``account.charge``): the call overhead was
+            # a measurable slice of the datapath.
+            cycles = costs.classifier_per_packet
+            account.cycles += cycles
+            breakdown["classify"] = breakdown.get("classify", 0.0) + cycles
+            state = self.classifier.observe(packet, now, size=size)
 
+        is_tcp = proto == IPProto.TCP
         # Handshake packets always take the slow path: MSS intervention.
-        if packet.is_tcp and packet.tcp.syn:
-            self.account.charge(costs.rx_descriptor + costs.flow_lookup, category="slowpath")
+        if is_tcp and packet.tcp.flags & TCPFlags.SYN:
+            cycles = costs.rx_descriptor + costs.flow_lookup
+            account.cycles += cycles
+            breakdown["slowpath"] = breakdown.get("slowpath", 0.0) + cycles
             if self.config.mss_clamp and self.mss_clamp.process(
                 packet, bound, allow_raise=self.mode == WorkerMode.NORMAL
             ):
@@ -141,32 +155,38 @@ class GatewayWorker:
             self.config.hairpin_small_flows
             and state is not None
             and not state.is_elephant
-            and not is_caravan(packet)
-            and (bound == Bound.INBOUND or packet.total_len <= self.config.emtu)
+            and not (proto == IPProto.UDP and ip.tos == PX_CARAVAN_TOS)
+            and (bound == Bound.INBOUND or size <= self.config.emtu)
         ):
-            self.account.charge(costs.hairpin_forward, category="hairpin")
+            cycles = costs.hairpin_forward
+            account.cycles += cycles
+            breakdown["hairpin"] = breakdown.get("hairpin", 0.0) + cycles
             self.stats.hairpinned += 1
             return self._emit([packet], bound, data=self._is_data(packet))
 
-        self.account.charge(costs.rx_descriptor, category="rx")
+        cycles = costs.rx_descriptor
+        account.cycles += cycles
+        breakdown["rx"] = breakdown.get("rx", 0.0) + cycles
         dma = self.dma
         if self.config.header_only_dma:
             resident = self.merge.pending_bytes() + self.caravan_merge.pending_bytes()
-            if resident + packet.total_len > self.nic_memory_bytes:
+            if resident + size > self.nic_memory_bytes:
                 # On-NIC memory exhausted: this packet's payload must
                 # cross into host DRAM after all (§5.1's "limited NIC
                 # store" caveat).
                 dma = FULL_DMA
                 self.stats.hdo_fallbacks += 1
             else:
-                self.account.charge(costs.header_only_per_packet, category="hdo")
-        self.account.charge(0.0, mem_bytes=dma.mem_bytes(packet))
+                cycles = costs.header_only_per_packet
+                account.cycles += cycles
+                breakdown["hdo"] = breakdown.get("hdo", 0.0) + cycles
+        account.mem_bytes += dma.mem_bytes(packet, size=size)
 
-        if packet.is_tcp:
+        if is_tcp:
             if bound == Bound.INBOUND:
                 return self._tcp_inbound(packet, now)
             return self._tcp_outbound(packet, now)
-        if packet.is_udp:
+        if proto == IPProto.UDP:
             if bound == Bound.INBOUND:
                 return self._udp_inbound(packet, now)
             return self._udp_outbound(packet)
@@ -215,22 +235,32 @@ class GatewayWorker:
     # ------------------------------------------------------------------
     def _tcp_inbound(self, packet: Packet, now: float) -> List[Packet]:
         costs = self.costs
-        self.stats.tcp_payload_in += len(packet.payload)
+        account = self.account
+        breakdown = account.breakdown
+        stats = self.stats
+        stats.tcp_payload_in += len(packet.payload)
         if self.mode != WorkerMode.NORMAL:
             # DEGRADED: stateful merging is off; pass through at eMTU.
-            self.stats.passthrough_packets += 1
-            self.stats.tcp_payload_out += len(packet.payload)
+            stats.passthrough_packets += 1
+            stats.tcp_payload_out += len(packet.payload)
             return self._emit([packet], Bound.INBOUND, data=True)
         if self.config.baseline_gro:
-            self.account.charge(costs.baseline_gro_per_packet, category="gro-sw")
+            cycles = costs.baseline_gro_per_packet
+            account.cycles += cycles
+            breakdown["gro-sw"] = breakdown.get("gro-sw", 0.0) + cycles
         else:
-            self.account.charge(costs.flow_lookup + costs.merge_append, category="merge")
+            cycles = costs.flow_lookup + costs.merge_append
+            account.cycles += cycles
+            breakdown["merge"] = breakdown.get("merge", 0.0) + cycles
         outputs = self.merge.feed(packet, now)
-        for out in outputs:
-            self.account.charge(costs.merge_flush, category="merge")
-            self.stats.tcp_payload_out += len(out.payload)
-            if out.meta.get("spliced"):
-                self.stats.merged_packets += 1
+        if outputs:
+            flush_cycles = costs.merge_flush
+            for out in outputs:
+                account.cycles += flush_cycles
+                breakdown["merge"] = breakdown.get("merge", 0.0) + flush_cycles
+                stats.tcp_payload_out += len(out.payload)
+                if out.meta.get("spliced"):
+                    stats.merged_packets += 1
         return self._emit(outputs, Bound.INBOUND, data=True)
 
     def _tcp_outbound(self, packet: Packet, now: float) -> List[Packet]:
@@ -263,13 +293,20 @@ class GatewayWorker:
                 self.stats.passthrough_packets += 1
             self.stats.udp_datagrams_out += caravan_inner_count(packet)
             return self._emit([packet], Bound.INBOUND, data=True)
-        self.account.charge(costs.flow_lookup + costs.caravan_append, category="caravan")
+        account = self.account
+        breakdown = account.breakdown
+        cycles = costs.flow_lookup + costs.caravan_append
+        account.cycles += cycles
+        breakdown["caravan"] = breakdown.get("caravan", 0.0) + cycles
         outputs = self.caravan_merge.feed(packet, now)
-        for out in outputs:
-            self.account.charge(costs.caravan_flush, category="caravan")
-            self.stats.udp_datagrams_out += caravan_inner_count(out)
-            if is_caravan(out):
-                self.stats.caravans_built += 1
+        if outputs:
+            flush_cycles = costs.caravan_flush
+            for out in outputs:
+                account.cycles += flush_cycles
+                breakdown["caravan"] = breakdown.get("caravan", 0.0) + flush_cycles
+                self.stats.udp_datagrams_out += caravan_inner_count(out)
+                if is_caravan(out):
+                    self.stats.caravans_built += 1
         return self._emit(outputs, Bound.INBOUND, data=True)
 
     def _udp_outbound(self, packet: Packet) -> List[Packet]:
@@ -330,10 +367,23 @@ class GatewayWorker:
         return packet.is_udp
 
     def _emit(self, packets: List[Packet], bound: str, data: bool) -> List[Packet]:
-        costs = self.costs
+        if not packets:
+            return packets
+        account = self.account
+        breakdown = account.breakdown
+        stats = self.stats
+        tx_cycles = self.costs.tx_descriptor
+        # Per-packet adds (not ``cycles * n``) keep float accumulation
+        # order — and therefore reported totals — bit-identical to the
+        # pre-inlined accounting.
+        inbound_data = data and bound == Bound.INBOUND
+        imtu = self.config.imtu
         for packet in packets:
-            self.account.charge(costs.tx_descriptor, category="tx")
-            self.stats.tx_packets += 1
-            if bound == Bound.INBOUND and data and self._is_data(packet):
-                self.stats.note_inbound_data_packet(packet.total_len, self.config.imtu)
+            account.cycles += tx_cycles
+            breakdown["tx"] = breakdown.get("tx", 0.0) + tx_cycles
+            stats.tx_packets += 1
+            if inbound_data and (
+                len(packet.payload) > 0 if packet.is_tcp else packet.is_udp
+            ):
+                stats.note_inbound_data_packet(packet.total_len, imtu)
         return packets

@@ -204,15 +204,17 @@ class Host(Node):
         """Reassemble if needed, then demux to the registered listener."""
         self.rx_packets += 1
         self.rx_bytes += packet.total_len
-        if packet.is_fragment:
+        ip = packet.ip
+        if ip.is_fragment:
             if not self.reassemble:
                 return  # host drops fragments
             complete = self.reassembler.add(packet, now=self.sim.now)
             if complete is None:
                 return
             packet = complete
+            ip = packet.ip
 
-        if packet.ip.protocol == IPProto.UDP:
+        if ip.protocol == IPProto.UDP:
             if self.caravan_imtu is not None:
                 from ..core.caravan import decode_caravan, is_caravan
 
@@ -226,16 +228,17 @@ class Host(Node):
                         self._deliver_udp(datagram)
                     return
             self._deliver_udp(packet)
-        elif packet.ip.protocol == IPProto.TCP:
-            key = (packet.tcp.dst_port, packet.ip.src, packet.tcp.src_port)
+        elif ip.protocol == IPProto.TCP:
+            tcp = packet.tcp
+            key = (tcp.dst_port, ip.src, tcp.src_port)
             listener = self._tcp_listeners.get(key) or self._tcp_accepting.get(
-                packet.tcp.dst_port
+                tcp.dst_port
             )
             if listener:
                 listener(packet)
             else:
                 self.unclaimed.append(packet)
-        elif packet.ip.protocol == IPProto.ICMP:
+        elif ip.protocol == IPProto.ICMP:
             self._handle_icmp(packet)
         else:
             self.unclaimed.append(packet)

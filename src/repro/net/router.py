@@ -56,7 +56,7 @@ class Router(Node):
         """Forward an arriving packet toward its destination."""
         if self.trace:
             self.trace.record(self.sim.now, self.name, "rx", packet)
-        if self.owns_address(packet.ip.dst):
+        if packet.ip.dst in self._if_by_ip:
             self._deliver_local(packet, interface)
             return
         self.forward(packet, arrived_on=interface)
@@ -69,7 +69,8 @@ class Router(Node):
                 self.trace.record(self.sim.now, self.name, "drop-fragment", packet)
             return False
 
-        if packet.ip.ttl <= 1:
+        ip = packet.ip
+        if ip.ttl <= 1:
             self.dropped += 1
             self._send_icmp_error(
                 packet,
@@ -77,7 +78,7 @@ class Router(Node):
             )
             return False
 
-        route = self.routes.lookup(packet.ip.dst)
+        route = self.routes.lookup(ip.dst)
         if route is None:
             self.dropped += 1
             if self.trace:
@@ -85,10 +86,22 @@ class Router(Node):
             return False
 
         egress = route.interface
-        packet = packet.copy()
+        # Forwarding only touches the IP header (TTL here, total_length
+        # during any later serialization), so a full structural copy is
+        # wasted work — share the L4 header copy-on-write instead.
+        packet = packet.fork()
         packet.ip.ttl -= 1
 
         egress_mtu = min(egress.mtu, egress.link.mtu if egress.link else egress.mtu)
+        size = packet.total_len
+        if size <= egress_mtu:
+            # Fits: skip the fragmentation machinery and reuse the
+            # length for egress byte accounting.
+            if self.trace:
+                self.trace.record(self.sim.now, self.name, "tx", packet)
+            egress.send(packet, size)
+            self.forwarded += 1
+            return True
         try:
             pieces = fragment_packet(packet, egress_mtu)
         except FragmentationNeeded:

@@ -37,6 +37,10 @@ class RoutingTable:
     def __init__(self):
         self._routes: List[Route] = []
         self._listeners: List = []
+        #: Exact-destination memo; invalidated on any table change.
+        #: Simulated worlds route among a handful of hosts, so every
+        #: per-packet lookup after the first is a dict hit.
+        self._memo: dict = {}
 
     def on_change(self, callback) -> None:
         """Call *callback* (no args) after any table modification.
@@ -48,6 +52,7 @@ class RoutingTable:
         self._listeners.append(callback)
 
     def _notify(self) -> None:
+        self._memo.clear()
         for callback in self._listeners:
             callback()
 
@@ -66,10 +71,17 @@ class RoutingTable:
 
     def lookup(self, destination: int) -> Optional[Route]:
         """Longest-prefix match for *destination*; None if unroutable."""
+        try:
+            return self._memo[destination]
+        except KeyError:
+            pass
+        result = None
         for route in self._routes:
-            if in_subnet(destination, route.network, route.mask):
-                return route
-        return None
+            if destination & route.mask == route.network:
+                result = route
+                break
+        self._memo[destination] = result
+        return result
 
     def remove_prefix(self, prefix: str) -> int:
         """Remove all routes for *prefix*; returns how many were removed."""

@@ -34,11 +34,15 @@ class DmaModel:
     #: pressure; ConnectX-7 exposes ~2 MB of usable NIC memory).
     nic_memory_per_payload_byte: float = 0.0
 
-    def mem_bytes(self, packet: Packet) -> float:
-        """Host DRAM bytes moved for one packet passing through."""
+    def mem_bytes(self, packet: Packet, size: "float | None" = None) -> float:
+        """Host DRAM bytes moved for one packet passing through.
+
+        *size* is the packet's ``total_len`` when the caller already
+        computed it.
+        """
         header_bytes = packet.ip.header_len + packet.l4_header_len
-        payload_bytes = packet.total_len - header_bytes
-        return header_bytes * self.header_factor + payload_bytes * self.payload_factor
+        total = packet.total_len if size is None else size
+        return header_bytes * self.header_factor + (total - header_bytes) * self.payload_factor
 
     def nic_memory_bytes(self, packet: Packet) -> float:
         """On-NIC memory held while the packet is in flight."""

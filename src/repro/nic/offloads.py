@@ -266,27 +266,26 @@ def segment_tcp(packet: Packet, mss: int) -> List[Packet]:
     payload = packet.payload
     total = len(payload)
     base_seq = packet.tcp.seq
+    base_flags = packet.tcp.flags
     cursor = 0
-    index = 0
     while cursor < total:
         chunk = payload[cursor : cursor + mss]
         segment = packet.copy()
+        tcp = segment.tcp
+        ip = segment.ip
         segment.payload = chunk
-        segment.tcp.seq = (base_seq + cursor) & 0xFFFFFFFF
+        tcp.seq = (base_seq + cursor) & 0xFFFFFFFF
         is_first = cursor == 0
         is_last = cursor + len(chunk) >= total
-        flags = packet.tcp.flags
+        flags = base_flags
         if not is_last:
             flags &= ~(TCPFlags.FIN | TCPFlags.PSH)
         if not is_first:
             flags &= ~TCPFlags.CWR
-            segment.ip.identification = next_ip_id()
-        segment.tcp.flags = flags
-        segment.ip.total_length = (
-            segment.ip.header_len + segment.tcp.header_len + len(chunk)
-        )
+            ip.identification = next_ip_id()
+        tcp.flags = flags
+        ip.total_length = ip.header_len + tcp.header_len + len(chunk)
         segment.meta["split_from"] = total  # original payload size
         segments.append(segment)
         cursor += len(chunk)
-        index += 1
     return segments

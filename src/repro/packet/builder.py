@@ -12,9 +12,9 @@ from typing import List, Optional, Union
 
 from .address import str_to_ip
 from .icmp import ICMPMessage
-from .ip import IPProto, IPv4Header
+from .ip import IP_HEADER_LEN, IPProto, IPv4Header
 from .packet import Packet
-from .tcp import TCPHeader, TCPOption
+from .tcp import TCP_HEADER_LEN, TCPHeader, TCPOption
 from .udp import UDPHeader
 
 __all__ = ["build_tcp", "build_udp", "build_icmp", "next_ip_id", "as_ip"]
@@ -74,7 +74,10 @@ def build_tcp(
         ttl=ttl,
         tos=tos,
     )
-    ip.total_length = ip.header_len + tcp.header_len + len(payload)
+    # The IP header is built just above with no options, so its length
+    # is the constant; ditto the TCP header when no MSS was requested.
+    tcp_len = TCP_HEADER_LEN if not options else tcp.header_len
+    ip.total_length = IP_HEADER_LEN + tcp_len + len(payload)
     return Packet(ip=ip, l4=tcp, payload=payload)
 
 
@@ -100,7 +103,7 @@ def build_udp(
         ttl=ttl,
         tos=tos,
     )
-    ip.total_length = ip.header_len + 8 + len(payload)
+    ip.total_length = IP_HEADER_LEN + 8 + len(payload)
     return Packet(ip=ip, l4=udp, payload=payload)
 
 

@@ -63,21 +63,15 @@ class IPv4Header:
 
     def copy(self, **overrides) -> "IPv4Header":
         """Return a copy with selected fields replaced."""
-        fields = {
-            "src": self.src,
-            "dst": self.dst,
-            "protocol": self.protocol,
-            "total_length": self.total_length,
-            "identification": self.identification,
-            "dont_fragment": self.dont_fragment,
-            "more_fragments": self.more_fragments,
-            "fragment_offset": self.fragment_offset,
-            "ttl": self.ttl,
-            "tos": self.tos,
-            "options": self.options,
-        }
-        fields.update(overrides)
-        return IPv4Header(**fields)
+        new = IPv4Header.__new__(IPv4Header)
+        state = new.__dict__
+        state.update(self.__dict__)
+        if overrides:
+            for name in overrides:
+                if name not in state:
+                    raise TypeError(f"unknown IPv4Header field {name!r}")
+            state.update(overrides)
+        return new
 
     def pack(self, payload_len: "int | None" = None) -> bytes:
         """Serialize the header, computing total length and checksum.

@@ -19,7 +19,6 @@ Representation notes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from .ethernet import wire_bytes_for_payload
@@ -33,18 +32,42 @@ __all__ = ["Packet", "L4Header"]
 
 L4Header = Union[TCPHeader, UDPHeader, ICMPMessage]
 
+#: Sentinel marking a flow key as not-yet-computed (None is a valid key).
+_UNSET = object()
 
-@dataclass
+
 class Packet:
-    """One IPv4 packet moving through the simulated network."""
+    """One IPv4 packet moving through the simulated network.
 
-    ip: IPv4Header
-    l4: Optional[L4Header] = None
-    payload: bytes = b""
-    #: Simulation timestamp of creation/last transmission (seconds).
-    timestamp: float = 0.0
-    #: Free-form annotations (e.g. ``{"hairpin": True}``); kept sparse.
-    meta: dict = field(default_factory=dict)
+    ``__slots__`` keeps the object small and attribute access fast —
+    every link, router, and gateway stat touches a handful of fields
+    per packet, which makes this the hottest object in the library.
+    """
+
+    __slots__ = ("ip", "l4", "payload", "timestamp", "meta", "_fkey", "_l4_shared")
+
+    def __init__(
+        self,
+        ip: IPv4Header,
+        l4: Optional[L4Header] = None,
+        payload: bytes = b"",
+        timestamp: float = 0.0,
+        meta: Optional[dict] = None,
+    ):
+        self.ip = ip
+        self.l4 = l4
+        self.payload = payload
+        #: Simulation timestamp of creation/last transmission (seconds).
+        self.timestamp = timestamp
+        #: Free-form annotations (e.g. ``{"hairpin": True}``); kept sparse.
+        self.meta = {} if meta is None else meta
+        #: Cached 5-tuple (lazily computed; survives copy/fork because
+        #: no code path rewrites addresses or ports in place).
+        self._fkey = _UNSET
+        #: True while ``l4`` may be aliased by another packet (see
+        #: :meth:`fork`); in-place header mutation must go through
+        #: :meth:`own_l4` first.
+        self._l4_shared = False
 
     # ------------------------------------------------------------------
     # Length accounting
@@ -52,29 +75,36 @@ class Packet:
     @property
     def l4_header_len(self) -> int:
         """Length of the serialized L4 header (0 for bare fragments)."""
-        if self.l4 is None:
+        l4 = self.l4
+        if l4 is None:
             return 0
-        if isinstance(self.l4, TCPHeader):
-            return self.l4.header_len
-        if isinstance(self.l4, UDPHeader):
-            return 8
-        return 8  # ICMP header
+        if isinstance(l4, TCPHeader):
+            return l4.header_len
+        return 8  # UDP or ICMP header
 
     @property
     def l4_payload_len(self) -> int:
         """Bytes of application payload carried."""
-        if isinstance(self.l4, ICMPMessage):
-            return len(self.l4.payload)
+        l4 = self.l4
+        if isinstance(l4, ICMPMessage):
+            return len(l4.payload)
         return len(self.payload)
 
     @property
     def total_len(self) -> int:
         """The IP total length this packet serializes to."""
-        if isinstance(self.l4, ICMPMessage):
-            body = 8 + len(self.l4.payload)
-        else:
-            body = self.l4_header_len + len(self.payload)
-        return self.ip.header_len + body
+        l4 = self.l4
+        # 20 + options is ``ip.header_len`` inlined: this property runs
+        # several times per link traversal, so it skips the nested
+        # property dispatch.
+        header = 20 + len(self.ip.options)
+        if l4 is None:
+            return header + len(self.payload)
+        if isinstance(l4, TCPHeader):
+            return header + l4.header_len + len(self.payload)
+        if isinstance(l4, UDPHeader):
+            return header + 8 + len(self.payload)
+        return header + 8 + len(l4.payload)
 
     @property
     def wire_len(self) -> int:
@@ -122,16 +152,28 @@ class Packet:
         return self.l4
 
     def flow_key(self) -> Optional[FlowKey]:
-        """The transport 5-tuple, or None when ports are unavailable."""
-        if isinstance(self.l4, TCPHeader) or isinstance(self.l4, UDPHeader):
-            return FlowKey(
-                self.ip.protocol,
-                self.ip.src,
-                self.l4.src_port,
-                self.ip.dst,
-                self.l4.dst_port,
-            )
-        return None
+        """The transport 5-tuple, or None when ports are unavailable.
+
+        Computed once and cached: the classifier, RSS dispatch, flow
+        table, and merge engines each ask for the key of the same
+        packet, and nothing in the library rewrites the addressing
+        fields of a live packet.
+        """
+        key = self._fkey
+        if key is _UNSET:
+            l4 = self.l4
+            if isinstance(l4, (TCPHeader, UDPHeader)):
+                key = FlowKey(
+                    self.ip.protocol,
+                    self.ip.src,
+                    l4.src_port,
+                    self.ip.dst,
+                    l4.dst_port,
+                )
+            else:
+                key = None
+            self._fkey = key
+        return key
 
     # ------------------------------------------------------------------
     # Serialization
@@ -171,24 +213,63 @@ class Packet:
         # First fragment of a fragmented datagram: leave unparsed.
         return cls(ip=ip, l4=None, payload=body)
 
+    @staticmethod
+    def _copy_l4(l4: Optional[L4Header]) -> Optional[L4Header]:
+        if isinstance(l4, TCPHeader):
+            return l4.copy()
+        if isinstance(l4, UDPHeader):
+            return UDPHeader(l4.src_port, l4.dst_port, l4.length, l4.checksum)
+        if isinstance(l4, ICMPMessage):
+            return ICMPMessage(l4.icmp_type, l4.code, l4.rest, l4.payload)
+        return None
+
     def copy(self) -> "Packet":
         """Return a structural copy safe to mutate independently."""
-        l4: Optional[L4Header]
-        if isinstance(self.l4, TCPHeader):
-            l4 = self.l4.copy()
-        elif isinstance(self.l4, UDPHeader):
-            l4 = UDPHeader(self.l4.src_port, self.l4.dst_port, self.l4.length, self.l4.checksum)
-        elif isinstance(self.l4, ICMPMessage):
-            l4 = ICMPMessage(self.l4.icmp_type, self.l4.code, self.l4.rest, self.l4.payload)
-        else:
-            l4 = None
-        return Packet(
-            ip=self.ip.copy(),
-            l4=l4,
-            payload=self.payload,
-            timestamp=self.timestamp,
-            meta=dict(self.meta),
-        )
+        new = Packet.__new__(Packet)
+        new.ip = self.ip.copy()
+        new.l4 = self._copy_l4(self.l4)
+        new.payload = self.payload
+        new.timestamp = self.timestamp
+        new.meta = dict(self.meta)
+        new._fkey = self._fkey
+        new._l4_shared = False
+        return new
+
+    def fork(self) -> "Packet":
+        """A cheap forwarding copy: private IP header, shared L4/payload.
+
+        Forwarding mutates only the IP header (TTL, and
+        ``total_length`` during serialization), so the per-hop copy a
+        router makes need not duplicate the L4 header or its options.
+        The L4 header becomes copy-on-write for *both* packets: any
+        later in-place mutation must go through :meth:`own_l4`, which
+        materializes a private header.  ``payload`` is immutable bytes
+        and always safely shared.
+        """
+        new = Packet.__new__(Packet)
+        new.ip = self.ip.copy()
+        new.l4 = self.l4
+        new.payload = self.payload
+        new.timestamp = self.timestamp
+        new.meta = dict(self.meta)
+        new._fkey = self._fkey
+        new._l4_shared = self._l4_shared = self.l4 is not None
+        return new
+
+    def own_l4(self) -> Optional[L4Header]:
+        """The L4 header, made private first if it is shared (CoW).
+
+        Call before mutating ``l4`` in place on a packet that may have
+        been :meth:`fork`-ed (e.g. the MSS clamp rewriting a SYN's
+        options).  The cached flow key survives: ports and addresses
+        are preserved by the materialization.
+        """
+        l4 = self.l4
+        if l4 is not None and self._l4_shared:
+            l4 = self._copy_l4(l4)
+            self.l4 = l4
+            self._l4_shared = False
+        return l4
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         proto = {IPProto.TCP: "TCP", IPProto.UDP: "UDP", IPProto.ICMP: "ICMP"}.get(

@@ -129,9 +129,20 @@ class TCPHeader:
 
     @property
     def header_len(self) -> int:
-        """Header length in bytes including padded options."""
-        opt_len = len(_pack_options(self.options)) if self.options else 0
-        return TCP_HEADER_LEN + opt_len
+        """Header length in bytes including padded options.
+
+        Computed arithmetically (option sizes + NOP padding to a 32-bit
+        boundary) rather than by serializing: this property sits on the
+        per-packet length-accounting path of every link and stat.
+        """
+        options = self.options
+        if not options:
+            return TCP_HEADER_LEN
+        length = 0
+        for option in options:
+            kind = option.kind
+            length += 1 if kind <= TCPOption.NOP else 2 + len(option.data)
+        return TCP_HEADER_LEN + ((length + 3) & ~3)
 
     @property
     def syn(self) -> bool:
@@ -181,17 +192,10 @@ class TCPHeader:
 
     def copy(self) -> "TCPHeader":
         """Return a deep-enough copy (options list is copied)."""
-        return TCPHeader(
-            src_port=self.src_port,
-            dst_port=self.dst_port,
-            seq=self.seq,
-            ack=self.ack,
-            flags=self.flags,
-            window=self.window,
-            checksum=self.checksum,
-            urgent=self.urgent,
-            options=list(self.options),
-        )
+        new = TCPHeader.__new__(TCPHeader)
+        new.__dict__.update(self.__dict__)
+        new.options = list(self.options)
+        return new
 
     def pack(self, payload: bytes = b"", src_ip: int = 0, dst_ip: int = 0) -> bytes:
         """Serialize the header, computing the checksum if IPs given."""

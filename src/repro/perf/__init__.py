@@ -1,0 +1,39 @@
+"""Performance harness: seeded microbenchmarks and regression gating.
+
+The datapath's throughput claims are only as good as the trajectory of
+measurements behind them.  This package provides:
+
+* :mod:`repro.perf.bench` — deterministic, seeded microbenchmarks of
+  the fast path (packet parse/serialize, checksum, merge/split,
+  caravan build/open, the UPF pipeline, and a full gateway world),
+  with warmup, repetition, and median/p95 reporting;
+* :mod:`repro.perf.compare` — diffing of two bench JSON files with a
+  configurable regression threshold, used as the CI gate.
+
+Run via ``repro bench`` (see :mod:`repro.cli`) or programmatically::
+
+    from repro.perf import run_benchmarks, write_report
+    report = run_benchmarks(quick=True)
+    write_report(report, "BENCH.json")
+"""
+
+from .bench import (
+    BENCH_SCHEMA,
+    BenchResult,
+    bench_names,
+    run_benchmarks,
+    write_report,
+)
+from .compare import CompareResult, compare_reports, load_report, validate_report
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "bench_names",
+    "run_benchmarks",
+    "write_report",
+    "CompareResult",
+    "compare_reports",
+    "load_report",
+    "validate_report",
+]

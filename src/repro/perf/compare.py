@@ -1,0 +1,148 @@
+"""Diff two bench reports and gate on regressions.
+
+CI runs ``repro bench --quick`` on every push and compares the fresh
+numbers against the committed baseline with a generous threshold
+(runner noise on shared VMs easily reaches tens of percent — the gate
+exists to catch order-of-magnitude fast-path regressions, not 5 %
+jitter).  Usable standalone::
+
+    python -m repro.perf.compare BENCH_old.json BENCH_new.json --threshold 0.3
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .bench import BENCH_SCHEMA
+
+__all__ = ["CompareResult", "compare_reports", "load_report", "validate_report", "main"]
+
+#: Keys every result row must carry, with their required types.
+_ROW_KEYS = {
+    "bench": str,
+    "pkts_per_sec": (int, float),
+    "ns_per_pkt": (int, float),
+    "reps": int,
+}
+
+
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` unless *report* matches the bench schema."""
+    if not isinstance(report, dict):
+        raise ValueError("bench report must be a JSON object")
+    if report.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {report.get('schema')!r} (want {BENCH_SCHEMA!r})"
+        )
+    rows = report.get("results")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("bench report carries no results")
+    seen = set()
+    for row in rows:
+        if not isinstance(row, dict):
+            raise ValueError("bench result row must be an object")
+        for key, types in _ROW_KEYS.items():
+            if key not in row:
+                raise ValueError(f"bench row missing {key!r}: {row}")
+            if not isinstance(row[key], types):
+                raise ValueError(f"bench row field {key!r} has wrong type: {row}")
+        if row["pkts_per_sec"] <= 0 or row["ns_per_pkt"] <= 0 or row["reps"] < 1:
+            raise ValueError(f"bench row values out of range: {row}")
+        if row["bench"] in seen:
+            raise ValueError(f"duplicate bench {row['bench']!r}")
+        seen.add(row["bench"])
+
+
+def load_report(path: str) -> dict:
+    """Load and validate a bench report from *path*."""
+    with open(path) as handle:
+        report = json.load(handle)
+    validate_report(report)
+    return report
+
+
+@dataclass
+class CompareResult:
+    """Per-bench baseline/current comparison."""
+
+    bench: str
+    base_pps: float
+    new_pps: float
+    ratio: float  # new / base; < 1 is a slowdown
+    regressed: bool
+
+    def line(self) -> str:
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.bench:22s} {self.base_pps:14,.0f} -> {self.new_pps:14,.0f} pkts/s "
+            f"({self.ratio:6.2f}x)  {verdict}"
+        )
+
+
+def compare_reports(base: dict, new: dict, threshold: float = 0.30) -> List[CompareResult]:
+    """Compare benches present in both reports.
+
+    A bench regresses when its fresh rate falls below
+    ``base * (1 - threshold)``.  Benches only in one report are
+    skipped — adding a benchmark must not fail the gate retroactively.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError("threshold must be in [0, 1)")
+    validate_report(base)
+    validate_report(new)
+    base_rows = {row["bench"]: row for row in base["results"]}
+    results: List[CompareResult] = []
+    for row in new["results"]:
+        baseline = base_rows.get(row["bench"])
+        if baseline is None:
+            continue
+        base_pps = float(baseline["pkts_per_sec"])
+        new_pps = float(row["pkts_per_sec"])
+        results.append(
+            CompareResult(
+                bench=row["bench"],
+                base_pps=base_pps,
+                new_pps=new_pps,
+                ratio=new_pps / base_pps,
+                regressed=new_pps < base_pps * (1.0 - threshold),
+            )
+        )
+    if not results:
+        raise ValueError("no common benchmarks between the two reports")
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: exit 1 when any common bench regressed past the threshold."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.compare",
+        description="diff two repro bench JSON reports",
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional slowdown (default 0.30)")
+    args = parser.parse_args(argv)
+
+    results = compare_reports(
+        load_report(args.baseline), load_report(args.current), args.threshold
+    )
+    for result in results:
+        print(result.line())
+    regressed = [result for result in results if result.regressed]
+    if regressed:
+        print(f"{len(regressed)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%} of baseline")
+        return 1
+    print(f"all {len(results)} benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -26,16 +26,24 @@ class EventHandle:
     fall through to an unorderable payload.
     """
 
-    __slots__ = ("time", "seq", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "_owner", "_fired")
 
-    def __init__(self, time: float, seq: int):
+    def __init__(self, time: float, seq: int, owner: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.cancelled = False
+        self._owner = owner
+        self._fired = False
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or self._fired:
+            return
         self.cancelled = True
+        # Keep the owning simulator's live-event counter exact so
+        # ``Simulator.pending()`` stays O(1) under cancel churn.
+        if self._owner is not None:
+            self._owner._live -= 1
 
     def _key(self) -> Tuple[float, int]:
         return (self.time, self.seq)
@@ -53,6 +61,12 @@ class EventHandle:
         return self._key() >= other._key()
 
 
+#: Shared inert handle for :meth:`Simulator.schedule_fast` events.  Its
+#: ``cancelled`` flag can never be set (no caller holds it), so the run
+#: loop treats fast events exactly like live handle-carrying ones.
+_FAST_HANDLE = EventHandle(0.0, 0)
+
+
 class Simulator:
     """The event loop shared by all nodes, links, and protocol agents."""
 
@@ -61,6 +75,9 @@ class Simulator:
         self._sequence = itertools.count()
         self._now = 0.0
         self._running = False
+        #: Live (scheduled, neither fired nor cancelled) event count;
+        #: kept exact so ``pending()`` never rescans the heap.
+        self._live = 0
         #: Count of events executed; useful for efficiency assertions.
         self.events_processed = 0
 
@@ -73,16 +90,41 @@ class Simulator:
         """Run ``callback(*args)`` *delay* seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        # Inlined schedule_at: this is called once or twice per packet
+        # hop, so the extra frame was measurable in the event loop.
+        time = self._now + delay
+        seq = next(self._sequence)
+        handle = EventHandle(time, seq, owner=self)
+        heapq.heappush(self._queue, (time, seq, handle, callback, args))
+        self._live += 1
+        return handle
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> EventHandle:
         """Run ``callback(*args)`` at absolute simulation *time*."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} (now={self._now})")
         seq = next(self._sequence)
-        handle = EventHandle(time, seq)
+        handle = EventHandle(time, seq, owner=self)
         heapq.heappush(self._queue, (time, seq, handle, callback, args))
+        self._live += 1
         return handle
+
+    def schedule_fast(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Schedule a non-cancellable event *delay* seconds from now.
+
+        Links schedule two events per packet and never cancel them;
+        skipping the per-event :class:`EventHandle` allocation is a
+        measurable win on the datapath.  Fast events share one inert
+        handle (its ``cancelled`` flag is never set), so ordering and
+        replay behaviour are identical to :meth:`schedule`.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, next(self._sequence), _FAST_HANDLE, callback, args),
+        )
+        self._live += 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain the event queue.
@@ -95,22 +137,30 @@ class Simulator:
         """
         self._running = True
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        # Hoist the per-iteration Optional checks out of the loop: an
+        # infinite horizon compares False forever, and a -1 countdown
+        # never equals the post-increment counter.
+        limit = float("inf") if until is None else until
+        stop_after = -1 if max_events is None else max_events
         try:
-            while self._queue:
-                time, _seq, handle, callback, args = self._queue[0]
-                if until is not None and time > until:
+            while queue:
+                if queue[0][0] > limit:
                     break
-                heapq.heappop(self._queue)
+                time, _seq, handle, callback, args = heappop(queue)
                 if handle.cancelled:
                     continue
+                handle._fired = True
+                self._live -= 1
                 self._now = time
                 callback(*args)
-                self.events_processed += 1
                 executed += 1
-                if max_events is not None and executed >= max_events:
+                if executed == stop_after:
                     break
         finally:
             self._running = False
+            self.events_processed += executed
         if until is not None and self._now < until:
             self._now = until
         return self._now
@@ -122,5 +172,10 @@ class Simulator:
         return self._queue[0][0] if self._queue else None
 
     def pending(self) -> int:
-        """Number of (non-cancelled) queued events."""
-        return sum(1 for entry in self._queue if not entry[2].cancelled)
+        """Number of (non-cancelled) queued events.
+
+        O(1): a live counter maintained at schedule/cancel/fire time
+        replaces the old full-heap scan (cancelled entries stay in the
+        heap until popped, so scanning was O(n) per call).
+        """
+        return self._live

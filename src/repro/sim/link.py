@@ -14,6 +14,7 @@ from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
 from ..packet import Packet
+from ..packet.ethernet import wire_bytes_for_payload
 from .engine import Simulator
 from .netem import Netem
 from .node import Interface
@@ -80,7 +81,7 @@ class Link:
         #: ``apply(packet, now) -> List[Tuple[Packet, float]]``: the
         #: copies to deliver with per-copy extra delay (empty = drop).
         self.injector = None
-        self._queue: Deque[Packet] = deque()
+        self._queue: Deque[Tuple[Packet, int]] = deque()
         self._queued_bytes = 0
         self._busy = False
 
@@ -89,30 +90,45 @@ class Link:
         self.taps.append(tap)
 
     def _notify(self, event: str, packet: Packet) -> None:
-        for tap in self.taps:
-            tap(event, packet, self.sim.now)
+        if self.taps:
+            now = self.sim.now
+            for tap in self.taps:
+                tap(event, packet, now)
 
-    def transmit(self, packet: Packet) -> bool:
+    def transmit(self, packet: Packet, size: Optional[int] = None) -> bool:
         """Enqueue *packet* for transmission; False if dropped.
 
         Packets larger than the link MTU are dropped here — a link
         cannot carry them; it is the upstream node's job to fragment or
         refuse.  This is exactly the silent-drop behaviour that breaks
         classical PMTUD behind ICMP blackholes.
+
+        *size* is the packet's ``total_len``, passed in when the caller
+        already computed it; the link threads it through the queue and
+        the serialize/deliver events so the length is derived exactly
+        once per traversal.
         """
-        if packet.total_len > self.mtu:
+        if size is None:
+            size = packet.total_len
+        if size > self.mtu:
             self.stats.dropped_mtu += 1
             self._notify("drop-mtu", packet)
             return False
-        if self._queued_bytes + packet.total_len > self.queue_bytes:
+        if self._queued_bytes + size > self.queue_bytes:
             self.stats.dropped_queue += 1
             self._notify("drop-queue", packet)
             return False
-        self._notify("tx", packet)
-        self._queue.append(packet)
-        self._queued_bytes += packet.total_len
+        if self.taps:
+            self._notify("tx", packet)
         if not self._busy:
-            self._start_next()
+            # Idle line ⇒ the queue is empty: put the packet straight on
+            # the wire instead of round-tripping it through the deque.
+            self._busy = True
+            serialization = wire_bytes_for_payload(size) * 8 / self.bandwidth_bps
+            self.sim.schedule_fast(serialization, self._serialized, packet, size)
+            return True
+        self._queue.append((packet, size))
+        self._queued_bytes += size
         return True
 
     def _start_next(self) -> None:
@@ -120,13 +136,22 @@ class Link:
             self._busy = False
             return
         self._busy = True
-        packet = self._queue.popleft()
-        self._queued_bytes -= packet.total_len
-        serialization = packet.wire_len * 8 / self.bandwidth_bps
-        self.sim.schedule(serialization, self._serialized, packet)
+        packet, size = self._queue.popleft()
+        self._queued_bytes -= size
+        serialization = wire_bytes_for_payload(size) * 8 / self.bandwidth_bps
+        self.sim.schedule_fast(serialization, self._serialized, packet, size)
 
-    def _serialized(self, packet: Packet) -> None:
+    def _serialized(self, packet: Packet, size: int) -> None:
         self.stats.transmitted += 1
+        if self.injector is None and self.netem is None:
+            # Clean link: no fault copies, no impairment — deliver the
+            # original after the propagation delay.
+            self.sim.schedule_fast(self.delay, self._deliver, packet, size)
+            if self._queue:
+                self._start_next()
+            else:
+                self._busy = False
+            return
         deliveries: List[Tuple[Packet, float]] = [(packet, 0.0)]
         if self.injector is not None:
             deliveries = self.injector.apply(packet, self.sim.now)
@@ -142,17 +167,24 @@ class Link:
                 self.stats.dropped_loss += 1
                 self._notify("drop-loss", copy)
             else:
-                self.sim.schedule(
-                    self.delay + extra_delay + fault_delay, self._deliver, copy
+                # Injector copies may be truncated/mutated; only the
+                # untouched original inherits the precomputed size.
+                self.sim.schedule_fast(
+                    self.delay + extra_delay + fault_delay,
+                    self._deliver,
+                    copy,
+                    size if copy is packet else copy.total_len,
                 )
         self._start_next()
 
-    def _deliver(self, packet: Packet) -> None:
-        self.stats.delivered += 1
-        self.stats.bytes_delivered += packet.total_len
+    def _deliver(self, packet: Packet, size: int) -> None:
+        stats = self.stats
+        stats.delivered += 1
+        stats.bytes_delivered += size
         packet.timestamp = self.sim.now
-        self._notify("rx", packet)
-        self.dst.deliver(packet)
+        if self.taps:
+            self._notify("rx", packet)
+        self.dst.deliver(packet, size)
 
     @property
     def queue_depth(self) -> int:

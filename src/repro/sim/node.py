@@ -32,22 +32,29 @@ class Interface:
         self.rx_packets = 0
         self.rx_bytes = 0
 
-    def send(self, packet: Packet) -> bool:
+    def send(self, packet: Packet, size: Optional[int] = None) -> bool:
         """Transmit *packet* onto the attached link.
 
         Returns False when there is no link or the link queue dropped
-        the packet.
+        the packet.  *size* is the packet's ``total_len`` when the
+        caller already computed it (e.g. a router's MTU check).
         """
         if self.link is None:
             return False
+        if size is None:
+            size = packet.total_len
         self.tx_packets += 1
-        self.tx_bytes += packet.total_len
-        return self.link.transmit(packet)
+        self.tx_bytes += size
+        return self.link.transmit(packet, size)
 
-    def deliver(self, packet: Packet) -> None:
-        """Called by the link when a packet arrives here."""
+    def deliver(self, packet: Packet, size: Optional[int] = None) -> None:
+        """Called by the link when a packet arrives here.
+
+        *size* is the packet's ``total_len`` when the link already
+        computed it (saves re-deriving it for byte accounting).
+        """
         self.rx_packets += 1
-        self.rx_bytes += packet.total_len
+        self.rx_bytes += packet.total_len if size is None else size
         self.node.receive(packet, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -63,23 +70,28 @@ class Node:
         self.sim = sim
         self.name = name
         self.interfaces: List[Interface] = []
+        # Address → interface map: ``owns_address`` runs once per
+        # received packet on routers and gateways, so the linear scan
+        # over interfaces was on the per-packet path.  Interface IPs
+        # are fixed at creation, so the map never goes stale.
+        self._if_by_ip: dict = {}
 
     def add_interface(self, ip: int, mtu: int = 1500, name: str = "") -> Interface:
         """Create and register a new interface."""
         interface = Interface(self, ip, mtu=mtu, name=name)
         self.interfaces.append(interface)
+        # First interface wins for duplicate addresses, matching the
+        # original in-order scan.
+        self._if_by_ip.setdefault(ip, interface)
         return interface
 
     def interface_for(self, ip: int) -> Optional[Interface]:
         """The interface owning address *ip*, if any."""
-        for interface in self.interfaces:
-            if interface.ip == ip:
-                return interface
-        return None
+        return self._if_by_ip.get(ip)
 
     def owns_address(self, ip: int) -> bool:
         """True if any interface has address *ip*."""
-        return self.interface_for(ip) is not None
+        return ip in self._if_by_ip
 
     def receive(self, packet: Packet, interface: Interface) -> None:
         """Handle an arriving packet; subclasses override."""

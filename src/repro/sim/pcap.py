@@ -104,13 +104,13 @@ class InterfaceTap:
         if direction in ("both", "rx"):
             interface.deliver = self._tap_deliver  # type: ignore[method-assign]
 
-    def _tap_send(self, packet: Packet) -> bool:
+    def _tap_send(self, packet: Packet, size=None) -> bool:
         self.writer.write(packet, timestamp=self.interface.node.sim.now)
-        return self._orig_send(packet)
+        return self._orig_send(packet, size)
 
-    def _tap_deliver(self, packet: Packet) -> None:
+    def _tap_deliver(self, packet: Packet, size=None) -> None:
         self.writer.write(packet, timestamp=self.interface.node.sim.now)
-        self._orig_deliver(packet)
+        self._orig_deliver(packet, size)
 
     def detach(self) -> None:
         """Restore the interface's original methods."""

@@ -1,0 +1,115 @@
+"""Smoke and schema tests for the microbenchmark harness."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.perf.bench import BENCH_SCHEMA, bench_names, run_benchmarks, write_report
+from repro.perf.compare import compare_reports, load_report, validate_report
+
+_HERE = os.path.dirname(__file__)
+_REPO = os.path.dirname(os.path.dirname(_HERE))
+
+
+def test_bench_names_cover_the_required_catalog():
+    names = bench_names()
+    assert len(names) >= 6
+    for required in ("gateway_world", "checksum", "merge_split", "upf_pipeline"):
+        assert required in names
+
+
+def test_quick_run_produces_valid_schema():
+    report = run_benchmarks(quick=True, reps=1, only=["checksum", "packet_parse"])
+    validate_report(report)
+    assert report["schema"] == BENCH_SCHEMA
+    rows = {row["bench"]: row for row in report["results"]}
+    assert set(rows) == {"checksum", "packet_parse"}
+    for row in rows.values():
+        assert row["pkts_per_sec"] > 0
+        assert row["ns_per_pkt"] > 0
+        assert row["packets"] > 0
+        assert row["p95_ns_per_pkt"] >= 0
+
+
+def test_write_report_round_trips(tmp_path):
+    report = run_benchmarks(quick=True, reps=1, only=["checksum"])
+    out = tmp_path / "bench.json"
+    write_report(report, str(out))
+    assert load_report(str(out)) == report
+
+
+def test_committed_artifacts_validate_and_show_speedup():
+    baseline = load_report(os.path.join(_REPO, "BENCH_pr3_baseline.json"))
+    current = load_report(os.path.join(_REPO, "BENCH_pr3.json"))
+    rows = {r["bench"]: r["pkts_per_sec"] for r in current["results"]}
+    base = {r["bench"]: r["pkts_per_sec"] for r in baseline["results"]}
+    assert len(rows) >= 6
+    # The PR's headline acceptance: the end-to-end gateway bench runs
+    # at least 1.5x the pre-PR datapath under identical conditions.
+    assert rows["gateway_world"] >= 1.5 * base["gateway_world"]
+
+
+def test_compare_flags_regressions():
+    base = {
+        "schema": BENCH_SCHEMA,
+        "results": [
+            {"bench": "a", "pkts_per_sec": 100.0, "ns_per_pkt": 1e7, "reps": 3},
+            {"bench": "b", "pkts_per_sec": 100.0, "ns_per_pkt": 1e7, "reps": 3},
+        ],
+    }
+    new = {
+        "schema": BENCH_SCHEMA,
+        "results": [
+            {"bench": "a", "pkts_per_sec": 65.0, "ns_per_pkt": 2e7, "reps": 3},
+            {"bench": "b", "pkts_per_sec": 95.0, "ns_per_pkt": 1.1e7, "reps": 3},
+            {"bench": "new-only", "pkts_per_sec": 1.0, "ns_per_pkt": 1e9, "reps": 3},
+        ],
+    }
+    results = {r.bench: r for r in compare_reports(base, new, threshold=0.30)}
+    assert results["a"].regressed  # 0.65x < 0.70x floor
+    assert not results["b"].regressed
+    assert "new-only" not in results  # new benches never fail the gate
+
+
+def test_validate_rejects_malformed_reports():
+    with pytest.raises(ValueError):
+        validate_report({"schema": "bogus/9", "results": []})
+    with pytest.raises(ValueError):
+        validate_report({"schema": BENCH_SCHEMA, "results": []})
+    with pytest.raises(ValueError):
+        validate_report(
+            {
+                "schema": BENCH_SCHEMA,
+                "results": [{"bench": "a", "pkts_per_sec": -1.0,
+                             "ns_per_pkt": 1.0, "reps": 3}],
+            }
+        )
+    with pytest.raises(ValueError):
+        validate_report(
+            {
+                "schema": BENCH_SCHEMA,
+                "results": [
+                    {"bench": "a", "pkts_per_sec": 1.0, "ns_per_pkt": 1.0, "reps": 3},
+                    {"bench": "a", "pkts_per_sec": 2.0, "ns_per_pkt": 1.0, "reps": 3},
+                ],
+            }
+        )
+
+
+def test_cli_bench_quick_subset(tmp_path):
+    out = tmp_path / "bench_cli.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "--quick", "--reps", "1",
+         "--only", "checksum", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        cwd=_REPO,
+        env={**os.environ, "PYTHONPATH": os.path.join(_REPO, "src")},
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    validate_report(report)
+    assert report["results"][0]["bench"] == "checksum"

@@ -1,0 +1,98 @@
+"""Simulator.pending() is an O(1) counter — assert it never drifts.
+
+The counter is maintained at schedule, cancel, and fire time; the old
+implementation rescanned the heap.  Under cancel churn (including
+cancel-after-fire and double-cancel) the counter must agree with a
+ground-truth heap scan at every step.
+"""
+
+import random
+
+from repro.sim import Simulator
+
+
+def _heap_scan(sim):
+    """Ground truth: live entries still sitting in the heap.
+
+    Fired entries are popped before their callback runs, so anything
+    still in the heap is live unless its handle was cancelled.  (Fast
+    events share one inert handle whose ``cancelled`` flag never sets,
+    so they always count — exactly the live semantics.)
+    """
+    return sum(1 for (_, _, handle, _, _) in sim._queue if not handle.cancelled)
+
+
+def test_pending_counts_scheduled_events():
+    sim = Simulator()
+    handles = [sim.schedule(i * 0.1, lambda: None) for i in range(1, 6)]
+    assert sim.pending() == 5 == _heap_scan(sim)
+    handles[0].cancel()
+    assert sim.pending() == 4 == _heap_scan(sim)
+
+
+def test_double_cancel_decrements_once():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.pending() == 1 == _heap_scan(sim)
+
+
+def test_cancel_after_fire_is_a_noop():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    assert sim.pending() == 1
+    handle.cancel()  # already fired: must not decrement
+    assert sim.pending() == 1 == _heap_scan(sim)
+    sim.run()
+    assert sim.pending() == 0 == _heap_scan(sim)
+
+
+def test_schedule_fast_events_count_and_drain():
+    sim = Simulator()
+    fired = []
+    for i in range(4):
+        sim.schedule_fast(0.1 * (i + 1), fired.append, i)
+    assert sim.pending() == 4 == _heap_scan(sim)
+    sim.run(until=0.25)
+    assert fired == [0, 1]
+    assert sim.pending() == 2 == _heap_scan(sim)
+    sim.run()
+    assert sim.pending() == 0 == _heap_scan(sim)
+
+
+def test_pending_under_random_churn():
+    rng = random.Random(4242)
+    sim = Simulator()
+    live = []
+    for step in range(400):
+        action = rng.random()
+        if action < 0.5 or not live:
+            live.append(sim.schedule(rng.uniform(0.0, 10.0), lambda: None))
+        elif action < 0.75:
+            victim = live.pop(rng.randrange(len(live)))
+            victim.cancel()
+            if rng.random() < 0.3:
+                victim.cancel()  # double-cancel must stay a no-op
+        else:
+            sim.schedule_fast(rng.uniform(0.0, 10.0), lambda: None)
+        assert sim.pending() == _heap_scan(sim), f"drift at step {step}"
+    sim.run()
+    assert sim.pending() == 0 == _heap_scan(sim)
+
+
+def test_pending_drains_during_run():
+    sim = Simulator()
+    observed = []
+
+    def probe():
+        observed.append(sim.pending())
+
+    for i in range(5):
+        sim.schedule(float(i + 1), probe)
+    sim.run()
+    # Each firing removes itself before the callback runs.
+    assert observed == [4, 3, 2, 1, 0]
