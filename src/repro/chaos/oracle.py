@@ -321,6 +321,70 @@ class InvariantOracle:
         )
 
     # ------------------------------------------------------------------
+    # 4b. Registry reconciliation: exports must match the live stats
+    # ------------------------------------------------------------------
+    def check_registry(self, registry, gateway) -> None:
+        """A scraped metrics registry must agree with the live gateway.
+
+        Two layers: (a) the exported packet counters equal the
+        ``GatewayStats`` values the conservation check audits — a
+        collector reading the wrong worker (e.g. a retired one after
+        failover) fails here; (b) the conservation identity holds using
+        *exported series alone*, so a metrics consumer sees a balanced
+        gateway without access to internals.
+        """
+        snapshot = registry.snapshot()
+        worker = gateway.worker
+        stats = worker.stats
+        suffix = f'{{gateway="{gateway.name}"}}'
+
+        def series(name: str, **labels) -> float:
+            items = sorted(list(labels.items()) + [("gateway", gateway.name)])
+            inner = ",".join(f'{key}="{value}"' for key, value in items)
+            return snapshot.get(name + "{" + inner + "}", 0)
+
+        for name, live in (
+            ("px_gateway_rx_packets_total", stats.rx_packets),
+            ("px_gateway_tx_packets_total", stats.tx_packets),
+            ("px_gateway_merged_packets_total", stats.merged_packets),
+            ("px_gateway_split_segments_total", stats.split_segments),
+            ("px_gateway_caravans_built_total", stats.caravans_built),
+            ("px_gateway_caravans_opened_total", stats.caravans_opened),
+            ("px_gateway_malformed_caravans_total", stats.malformed_caravans),
+            ("px_worker_cycles_total", worker.account.cycles),
+        ):
+            exported = snapshot.get(name + suffix)
+            self.expect(
+                exported == live,
+                "registry-reconciliation",
+                f"{name}{suffix} exported {exported!r}, live value {live}",
+            )
+
+        tcp_in = series("px_gateway_tcp_payload_bytes_total", direction="in")
+        tcp_out = series("px_gateway_tcp_payload_bytes_total", direction="out")
+        pending_bytes = snapshot.get(f"px_gateway_pending_merge_bytes{suffix}", 0)
+        self.expect(
+            tcp_in == tcp_out + pending_bytes,
+            "registry-reconciliation",
+            f"exported TCP payload imbalance: in={tcp_in} "
+            f"out={tcp_out} pending={pending_bytes}",
+        )
+        udp_in = series("px_gateway_udp_datagrams_total", direction="in")
+        udp_out = series("px_gateway_udp_datagrams_total", direction="out")
+        pending_dgrams = snapshot.get(
+            f"px_gateway_pending_caravan_datagrams{suffix}", 0
+        )
+        malformed = snapshot.get(
+            f"px_gateway_udp_datagrams_malformed_total{suffix}", 0
+        )
+        self.expect(
+            udp_in == udp_out + pending_dgrams + malformed,
+            "registry-reconciliation",
+            f"exported UDP datagram imbalance: in={udp_in} out={udp_out} "
+            f"pending={pending_dgrams} malformed={malformed}",
+        )
+
+    # ------------------------------------------------------------------
     # 5. Recovery: degradation must be bounded and end HEALTHY
     # ------------------------------------------------------------------
     def check_recovery(self, monitor, max_excursion: float = 1.0) -> None:

@@ -84,6 +84,9 @@ class ChaosWorld:
     mid_mtu: Optional[int] = None
     #: The resilience HealthMonitor attached to the gateway.
     monitor: Optional[object] = None
+    #: Metrics-only Observability bundle (no tracer: scrape-time pull
+    #: collectors cannot perturb the datapath or its digests).
+    obs: Optional[object] = None
 
 
 @dataclass
@@ -162,6 +165,9 @@ def build_world(profile: str, seed: int) -> ChaosWorld:
     # The resilience layer under test: every scenario must end with the
     # gateway back in HEALTHY (oracle check 5).
     monitor = gateway.enable_resilience()
+    # Metrics registry under test: the oracle reconciles its exports
+    # against the live conservation counters at scenario end.
+    obs = gateway.attach_observability()
 
     taps: Dict[str, ChaosTap] = {}
     for role, link in links.items():
@@ -179,6 +185,7 @@ def build_world(profile: str, seed: int) -> ChaosWorld:
         log=FaultLog(),
         mid_mtu=mid_mtu,
         monitor=monitor,
+        obs=obs,
     )
 
 
@@ -306,6 +313,8 @@ def _check_common(world: ChaosWorld, oracle: InvariantOracle) -> None:
     oracle.check_gateway_stats(world.gateway)
     if world.monitor is not None:
         oracle.check_recovery(world.monitor)
+    if world.obs is not None:
+        oracle.check_registry(world.obs.registry, world.gateway)
     oracle.check_segment_sizes(world.taps["int_in"], _IMTU, _INSIDE_MSS)
     oracle.check_segment_sizes(world.taps["int_out"], _IMTU, _INSIDE_MSS)
     oracle.check_segment_sizes(world.taps["ext_in"], _EMTU, _OUTSIDE_MSS)
@@ -455,6 +464,8 @@ def _run_pmtud(world: ChaosWorld, oracle: InvariantOracle) -> Dict[str, object]:
     oracle.check_gateway_stats(world.gateway)
     if world.monitor is not None:
         oracle.check_recovery(world.monitor)
+    if world.obs is not None:
+        oracle.check_registry(world.obs.registry, world.gateway)
     oracle.check_segment_sizes(world.taps["ext_in"], _EMTU)
     oracle.check_segment_sizes(world.taps["far_in"], world.mid_mtu or _EMTU)
     return {

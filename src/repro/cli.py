@@ -7,6 +7,8 @@
     python -m repro upf --mtu 9000     # single-core UPF throughput
     python -m repro survey -n 100000   # fragment-delivery survey
     python -m repro fig5a              # the headline PXGW numbers
+    python -m repro metrics            # observed world -> Prometheus text
+    python -m repro trace --summary    # observed world -> flow-trace counts
 """
 
 from __future__ import annotations
@@ -63,6 +65,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare against this bench JSON and fail on regression")
     bench.add_argument("--threshold", type=float, default=0.30,
                        help="allowed fractional slowdown vs --baseline (default 0.30)")
+    bench.add_argument("--metrics-out", default=None,
+                       help="also write the results as Prometheus text here")
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run the seeded observability world, print its metric export",
+    )
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus")
+    metrics.add_argument("--out", default=None,
+                         help="write the export here instead of stdout")
+
+    trace = commands.add_parser(
+        "trace",
+        help="run the seeded observability world, print its flow trace",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--kind", default=None,
+                       help="only events of this kind (ingress, merge, ...)")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="print at most the last N events")
+    trace.add_argument("--summary", action="store_true",
+                       help="print per-kind counts instead of events")
 
     report = commands.add_parser(
         "resilience-report",
@@ -218,8 +244,18 @@ def _cmd_bench(args) -> int:
 
     from .perf import compare_reports, load_report, run_benchmarks, write_report
 
+    registry = None
+    if args.metrics_out:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     only = args.only.split(",") if args.only else None
-    report = run_benchmarks(quick=args.quick, reps=args.reps, only=only)
+    report = run_benchmarks(quick=args.quick, reps=args.reps, only=only,
+                            registry=registry)
+    if registry is not None:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(registry.to_prometheus_text())
+        print(f"metrics written to {args.metrics_out}")
     if args.out:
         write_report(report, args.out)
         for row in report["results"]:
@@ -236,6 +272,49 @@ def _cmd_bench(args) -> int:
         if any(result.regressed for result in results):
             print(f"regression beyond {args.threshold:.0%} of baseline")
             return 1
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from .obs import run_observed_world
+
+    world = run_observed_world(seed=args.seed)
+    if args.format == "json":
+        text = json.dumps(world.obs.registry.to_json(),
+                          indent=2, sort_keys=True) + "\n"
+    else:
+        text = world.obs.registry.to_prometheus_text()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"{world.obs.registry.series_count()} series "
+              f"({args.format}) written to {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from .obs import run_observed_world
+
+    world = run_observed_world(seed=args.seed)
+    tracer = world.obs.tracer
+    if args.summary:
+        print(json.dumps({
+            "recorded": tracer.recorded,
+            "dropped": tracer.dropped,
+            "kinds": tracer.kinds(),
+        }, indent=2, sort_keys=True))
+        return 0
+    events = tracer.events(kind=args.kind)
+    if args.limit is not None:
+        events = events[-args.limit:]
+    for event in events:
+        print(json.dumps(event, sort_keys=True))
     return 0
 
 
@@ -336,6 +415,8 @@ _COMMANDS = {
     "survey": _cmd_survey,
     "fig5a": _cmd_fig5a,
     "bench": _cmd_bench,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
     "resilience-report": _cmd_resilience_report,
 }
 

@@ -61,6 +61,9 @@ class PXGateway(Router):
         self.health = None
         self.negotiator = None
         self.pmtu_cache = None
+        #: Optional :class:`repro.obs.Observability` bundle (metrics
+        #: registry + tracer); see :meth:`attach_observability`.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -141,16 +144,48 @@ class PXGateway(Router):
         cache.watch(self.routes)
         return cache
 
+    def attach_observability(self, obs=None):
+        """Attach a metrics registry (and optional tracer) bundle.
+
+        Registers the gateway's scrape-time collectors on the bundle's
+        registry and hands its tracer to the live worker.  With no
+        argument a fresh metrics-only bundle is created.  Returns the
+        attached :class:`repro.obs.Observability`.
+        """
+        from ..obs import Observability, observe_gateway
+
+        if obs is None:
+            obs = Observability()
+        self.obs = obs
+        self.worker.tracer = obs.tracer
+        observe_gateway(obs, self)
+        return obs
+
     def swap_worker(self, new_worker) -> "GatewayWorker":
         """Replace the datapath worker (failover); returns the old one.
 
-        The new worker inherits the resilience hooks so a takeover does
-        not silently drop the PMTU clamp or the caravan gate.
+        The new worker inherits the resilience and observability hooks
+        so a takeover does not silently drop the PMTU clamp, the
+        caravan gate, or the flow tracer.
         """
         old, self.worker = self.worker, new_worker
         new_worker.pmtu_cache = self.pmtu_cache
         if self.negotiator is not None:
             new_worker.caravan_gate = self.negotiator.allow_caravan
+        if self.obs is not None:
+            new_worker.tracer = self.obs.tracer
+            self.obs.trace(
+                self.sim.now, "worker-swap",
+                gateway=self.name, from_worker=old.index, to_worker=new_worker.index,
+            )
+        # The flush timer was armed (or left unarmed) against the OLD
+        # worker's pending state; re-judge it against the new worker's,
+        # else a swapped-in standby with pending merges never flushes —
+        # or an armed timer flushes a worker with nothing pending.
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        self._ensure_flush_timer()
         return old
 
     # ------------------------------------------------------------------
@@ -169,14 +204,26 @@ class PXGateway(Router):
         if until <= self._stall_until:
             return
         self._stall_until = until
+        if self.obs is not None:
+            self.obs.trace(self.sim.now, "stall", gateway=self.name, until=until)
         self.sim.schedule(duration, self._drain_stalled)
 
     def _drain_stalled(self) -> None:
         if self.sim.now < self._stall_until:
             return  # superseded by a longer stall; its drain will run
         stalled, self._stalled = self._stalled, []
+        if self.obs is not None:
+            self.obs.trace(
+                self.sim.now, "stall-drain",
+                gateway=self.name, queued=len(stalled),
+            )
         for packet, interface in stalled:
             self._process(packet, interface)
+        # The flush timer stayed silent for the whole stall window (see
+        # _on_flush_timer); flush whatever aged past the merge timeout
+        # exactly once, then let the timer re-arm normally.
+        if self._flush_handle is None and self.worker.pending():
+            self._on_flush_timer()
 
     # ------------------------------------------------------------------
     # Datapath
@@ -245,15 +292,17 @@ class PXGateway(Router):
     def _ensure_flush_timer(self) -> None:
         if self._flush_handle is not None:
             return
-        # Counter reads, not method calls: this runs after every
-        # processed packet.
-        worker = self.worker
-        if worker.merge._pending_bytes == 0 and worker.caravan_merge._pending_packets == 0:
+        if not self.worker.pending():
             return
         self._flush_handle = self.sim.schedule(self.config.merge_timeout, self._on_flush_timer)
 
     def _on_flush_timer(self) -> None:
         self._flush_handle = None
+        if self.sim.now < self._stall_until:
+            # The datapath is frozen: flushing now would emit packets
+            # mid-stall, and re-arming would tick fruitlessly for the
+            # whole window.  _drain_stalled flushes once on resume.
+            return
         for out in self.worker.end_batch(self.sim.now):
             self.forward(out)
         self._ensure_flush_timer()

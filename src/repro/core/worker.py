@@ -89,6 +89,28 @@ class GatewayWorker:
         #: Optional callable ``(peer_ip, now) -> bool`` consulted before
         #: bundling datagrams toward a peer (caravan negotiation).
         self.caravan_gate = None
+        #: Optional :class:`repro.obs.FlowTracer`.  Every call site
+        #: guards on it, so the default (None) costs one attribute test
+        #: on the per-packet path and nothing on a per-batch path.
+        self.tracer = None
+        # Sim time of the event being processed, for trace records made
+        # on paths (``_emit``) that are not handed ``now``.
+        self._trace_now = 0.0
+
+    # ------------------------------------------------------------------
+    def pending(self) -> bool:
+        """True while either merge engine holds unflushed payload.
+
+        The gateway's delayed-merge flush timer keys on this, so a
+        standby worker swapped in by failover is always judged by its
+        *own* engine state rather than the retired worker's.
+        """
+        # Counter reads, not pending_bytes()/pending_packets() calls:
+        # the gateway consults this after every processed packet.
+        return (
+            self.merge._pending_bytes != 0
+            or self.caravan_merge._pending_packets != 0
+        )
 
     # ------------------------------------------------------------------
     def set_mode(self, mode: str, now: float) -> List[Packet]:
@@ -103,6 +125,12 @@ class GatewayWorker:
             raise ValueError(f"unknown worker mode {mode!r}")
         if mode == self.mode:
             return []
+        if self.tracer is not None:
+            self._trace_now = now
+            self.tracer.record(
+                now, "mode-transition",
+                worker=self.index, from_mode=self.mode, to_mode=mode,
+            )
         self.mode = mode
         if mode == WorkerMode.NORMAL:
             return []
@@ -122,6 +150,16 @@ class GatewayWorker:
         account.packets += 1
         account.goodput_bytes += size
 
+        tracer = self.tracer
+        if tracer is not None:
+            self._trace_now = now
+            flow = packet.flow_key()
+            tracer.record(
+                now, "ingress",
+                worker=self.index, bound=bound, proto=int(proto),
+                bytes=size, flow=str(flow) if flow is not None else "-",
+            )
+
         if self.mode == WorkerMode.BYPASS:
             return self._bypass(packet, bound, now)
 
@@ -135,6 +173,12 @@ class GatewayWorker:
             account.cycles += cycles
             breakdown["classify"] = breakdown.get("classify", 0.0) + cycles
             state = self.classifier.observe(packet, now, size=size)
+            if tracer is not None:
+                tracer.record(
+                    now, "classify",
+                    worker=self.index, flow=str(key),
+                    elephant=state.is_elephant,
+                )
 
         is_tcp = proto == IPProto.TCP
         # Handshake packets always take the slow path: MSS intervention.
@@ -261,6 +305,13 @@ class GatewayWorker:
                 stats.tcp_payload_out += len(out.payload)
                 if out.meta.get("spliced"):
                     stats.merged_packets += 1
+            if self.tracer is not None:
+                for out in outputs:
+                    self.tracer.record(
+                        now, "merge",
+                        worker=self.index, bytes=out.total_len,
+                        spliced=bool(out.meta.get("spliced")),
+                    )
         return self._emit(outputs, Bound.INBOUND, data=True)
 
     def _tcp_outbound(self, packet: Packet, now: float) -> List[Packet]:
@@ -275,6 +326,11 @@ class GatewayWorker:
         self.account.charge(costs.split_per_segment * len(segments), category="split")
         self.stats.split_segments += len(segments) if len(segments) > 1 else 0
         self.stats.tcp_payload_out += sum(len(seg.payload) for seg in segments)
+        if self.tracer is not None and len(segments) > 1:
+            self.tracer.record(
+                now, "split",
+                worker=self.index, segments=len(segments), bytes=packet.total_len,
+            )
         return self._emit(segments, Bound.OUTBOUND, data=True)
 
     def _udp_inbound(self, packet: Packet, now: float) -> List[Packet]:
@@ -307,6 +363,12 @@ class GatewayWorker:
                 self.stats.udp_datagrams_out += caravan_inner_count(out)
                 if is_caravan(out):
                     self.stats.caravans_built += 1
+                    if self.tracer is not None:
+                        self.tracer.record(
+                            now, "caravan-built",
+                            worker=self.index,
+                            inner=caravan_inner_count(out), bytes=out.total_len,
+                        )
         return self._emit(outputs, Bound.INBOUND, data=True)
 
     def _udp_outbound(self, packet: Packet) -> List[Packet]:
@@ -327,6 +389,11 @@ class GatewayWorker:
             self.stats.udp_datagrams_malformed += caravan_inner_count(packet)
             return []
         self.stats.caravans_opened += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                self._trace_now, "caravan-opened",
+                worker=self.index, inner=len(datagrams),
+            )
         self.account.charge(
             costs.caravan_split_per_datagram * len(datagrams), category="caravan"
         )
@@ -347,6 +414,12 @@ class GatewayWorker:
             flushed += self.caravan_merge.flush_older_than(now, self.config.merge_timeout)
         else:
             flushed = self.merge.flush() + self.caravan_merge.flush()
+        if self.tracer is not None:
+            self._trace_now = now
+            if flushed:
+                self.tracer.record(
+                    now, "flush", worker=self.index, packets=len(flushed)
+                )
         return self._emit(self._account_flush(flushed), Bound.INBOUND, data=True)
 
     def _account_flush(self, flushed: List[Packet]) -> List[Packet]:
@@ -386,4 +459,12 @@ class GatewayWorker:
                 len(packet.payload) > 0 if packet.is_tcp else packet.is_udp
             ):
                 stats.note_inbound_data_packet(packet.total_len, imtu)
+        tracer = self.tracer
+        if tracer is not None:
+            now = self._trace_now
+            for packet in packets:
+                tracer.record(
+                    now, "egress",
+                    worker=self.index, bound=bound, bytes=packet.total_len,
+                )
         return packets

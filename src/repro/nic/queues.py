@@ -24,6 +24,8 @@ class RxQueue:
         self._ring: Deque[Packet] = deque()
         self.enqueued = 0
         self.dropped = 0
+        #: High-water mark of ring occupancy (depth gauge for metrics).
+        self.peak_depth = 0
 
     def push(self, packet: Packet) -> bool:
         """NIC-side enqueue; False (and a drop) when the ring is full."""
@@ -32,6 +34,8 @@ class RxQueue:
             return False
         self._ring.append(packet)
         self.enqueued += 1
+        if len(self._ring) > self.peak_depth:
+            self.peak_depth = len(self._ring)
         return True
 
     def poll(self, budget: int = 32) -> List[Packet]:
@@ -53,6 +57,8 @@ class HairpinQueue:
         self._ring: Deque[Packet] = deque()
         self.forwarded = 0
         self.dropped = 0
+        #: High-water mark of ring occupancy (depth gauge for metrics).
+        self.peak_depth = 0
 
     def push(self, packet: Packet) -> bool:
         """Steer a packet into the hairpin; False when full."""
@@ -60,6 +66,8 @@ class HairpinQueue:
             self.dropped += 1
             return False
         self._ring.append(packet)
+        if len(self._ring) > self.peak_depth:
+            self.peak_depth = len(self._ring)
         return True
 
     def drain(self, budget: Optional[int] = None) -> List[Packet]:

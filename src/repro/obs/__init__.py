@@ -1,0 +1,62 @@
+"""Unified observability: metrics registry, flow tracing, exporters
+(see ``docs/OBSERVABILITY.md`` for the metric catalog and CLI examples).
+
+The layer the ROADMAP's "production-scale" north star requires: every
+quantitative claim the PXGW makes (merge ratios, caravan occupancy,
+per-packet cycle cost, F-PMTUD convergence) becomes an exported metric
+series or a trace event instead of an ad-hoc counter buried in a
+component.
+
+Design rules:
+
+* **Pull, not push** — components keep their cheap ad-hoc counters;
+  scrape-time *collectors* mirror them onto the registry.  Attaching a
+  registry adds zero per-packet work, so chaos digests and perf
+  numbers are unaffected.
+* **Sim time only** — nothing in an export ever reads a wall clock, so
+  two same-seed runs are byte-identical (the determinism guard diffs
+  ``to_prometheus_text()`` directly).
+* **Tracing is opt-in** — :class:`FlowTracer` hooks are guarded with
+  ``if tracer is not None`` everywhere; chaos worlds run metrics-only.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog and CLI examples.
+"""
+
+from .collectors import (
+    Observability,
+    observe_failover,
+    observe_gateway,
+    observe_nic,
+    observe_pmtud,
+    observe_upf,
+    record_bench_report,
+)
+from .registry import (
+    LOG2_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .tracer import FlowTracer
+from .world import ObservedWorld, run_observed_world
+
+__all__ = [
+    "Counter",
+    "FlowTracer",
+    "Gauge",
+    "Histogram",
+    "LOG2_BUCKETS",
+    "MetricsRegistry",
+    "Observability",
+    "ObservedWorld",
+    "default_registry",
+    "observe_failover",
+    "observe_gateway",
+    "observe_nic",
+    "observe_pmtud",
+    "observe_upf",
+    "record_bench_report",
+    "run_observed_world",
+]

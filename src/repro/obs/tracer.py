@@ -1,0 +1,91 @@
+"""Span-like flow tracing into a bounded ring buffer.
+
+A :class:`FlowTracer` records structured dict events along a packet's
+path through the gateway — ingress → classify → merge/split|caravan →
+egress — plus control-plane lifecycles (PMTUD probes, worker mode
+transitions, failover swaps, stall windows).  Events are plain dicts so
+they serialize to JSON unchanged, and every event is stamped with
+**simulation time** (the caller passes ``sim.now``; the tracer never
+reads a wall clock), which keeps two same-seed runs' event sequences
+identical.
+
+The buffer is a fixed-capacity ring: tracing a long run keeps the most
+recent ``capacity`` events and counts what it shed, so an always-on
+tracer can never grow without bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["FlowTracer"]
+
+
+class FlowTracer:
+    """A bounded ring buffer of structured trace events."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._events: "deque[Dict[str, object]]" = deque(maxlen=capacity)
+        #: Total events ever recorded (including ones the ring shed).
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events shed by the ring (recorded - retained)."""
+        return self.recorded - len(self._events)
+
+    # ------------------------------------------------------------------
+    def record(self, time: float, kind: str, **fields: object) -> None:
+        """Append one event.
+
+        *time* is simulation time; *kind* names the event ("ingress",
+        "merge", "health-transition", …); *fields* must be
+        JSON-serializable (callers stringify flow keys).
+        """
+        event: Dict[str, object] = {"time": time, "kind": kind}
+        event.update(fields)
+        self._events.append(event)
+        self.recorded += 1
+
+    # ------------------------------------------------------------------
+    def events(self, kind: Optional[str] = None) -> List[Dict[str, object]]:
+        """Retained events in arrival order, optionally one *kind* only."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event["kind"] == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        """Retained event count per kind (sorted by kind)."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            kind = event["kind"]
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def sequence(self) -> List[tuple]:
+        """A hashable, order-preserving fingerprint of retained events.
+
+        Two same-seed runs must produce equal sequences — the
+        determinism guard compares these directly.
+        """
+        return [tuple(sorted(event.items(), key=lambda kv: kv[0])) for event in self._events]
+
+    def clear(self) -> None:
+        """Drop every retained event (the recorded total is kept)."""
+        self._events.clear()
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-friendly dump: metadata plus the retained events."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "events": list(self._events),
+        }

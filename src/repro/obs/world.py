@@ -1,0 +1,269 @@
+"""A seeded end-to-end world exercising every observed layer.
+
+``run_observed_world(seed)`` builds one deterministic scenario that
+touches all six instrumented layers — gateway, worker, resilience
+(health + PMTU cache + failover), NIC (RSS + RX rings + hairpin), UPF,
+and PMTUD — runs it to completion, and returns the world with a fully
+populated :class:`Observability` bundle.  The ``repro metrics`` /
+``repro trace`` CLI commands and the observability determinism guard
+are built on it: the same seed must yield byte-identical
+``to_prometheus_text()`` output and identical tracer sequences.
+
+The world:
+
+* a PXGW between a 9000 B b-network and a 1500 B external network,
+  with the resilience layer attached;
+* a TCP download (merge datapath) and upload (split datapath);
+* UDP bursts inbound (gateway-built caravans) and a host-built caravan
+  bulk send outbound (gateway-opened);
+* one F-PMTUD probe across the gateway (fragmented on the eMTU link);
+* a mid-run failover takeover, so the swapped-in standby carries the
+  second half of the traffic (and the flush-timer re-arm is exercised);
+* a NIC front-end model fed by a tap on the inside→gateway link:
+  flows steer through RSS into bounded RX rings, mice hairpin;
+* a standalone seeded UPF run (uplink decap + downlink encap).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .collectors import (
+    Observability,
+    observe_failover,
+    observe_nic,
+    observe_pmtud,
+    observe_upf,
+)
+from .tracer import FlowTracer
+
+__all__ = ["ObservedWorld", "run_observed_world"]
+
+_IMTU = 9000
+_EMTU = 1500
+_PROBER_PORT = 52002
+#: Packets at or below this size hairpin past the RX rings (mice).
+_HAIRPIN_CUTOFF = 128
+
+
+@dataclass
+class ObservedWorld:
+    """Everything one observed run built and measured."""
+
+    seed: int
+    obs: Observability
+    topo: object
+    gateway: object
+    inside: object
+    outside: object
+    upf: object
+    prober: object
+    daemon: object
+    failover: object
+    rss: object
+    queues: List[object]
+    hairpin: object
+    notes: Dict[str, object] = field(default_factory=dict)
+
+
+class _NicFrontend:
+    """A link tap modelling the NIC receive path ahead of the worker.
+
+    Every packet delivered on the tapped link is steered: mice go to
+    the hairpin ring, everything with a flow key goes through RSS into
+    its RX ring.  Rings are drained by a periodic poll, so the depth
+    gauges show live occupancy and the drop counters stay honest.
+    """
+
+    def __init__(self, sim, rss, queues, hairpin, poll_interval: float = 0.01):
+        self.sim = sim
+        self.rss = rss
+        self.queues = queues
+        self.hairpin = hairpin
+        self.poll_interval = poll_interval
+        self._polling = False
+
+    def __call__(self, event: str, packet, now: float) -> None:
+        if event != "rx":
+            return
+        if packet.total_len <= _HAIRPIN_CUTOFF:
+            self.hairpin.push(packet)
+            return
+        flow = packet.flow_key()
+        if flow is None:
+            return
+        self.queues[self.rss.queue_for(flow)].push(packet)
+
+    def start(self) -> None:
+        if not self._polling:
+            self._polling = True
+            self.sim.schedule(self.poll_interval, self._poll)
+
+    def _poll(self) -> None:
+        for queue in self.queues:
+            queue.poll(budget=64)
+        self.hairpin.drain()
+        self.sim.schedule(self.poll_interval, self._poll)
+
+
+def _run_upf(rng: random.Random) -> object:
+    """A standalone seeded UPF exercise: uplink decap + downlink encap."""
+    from ..packet import GTPU_PORT, GTPUHeader, build_udp, str_to_ip
+    from ..upf import Upf
+
+    n3 = str_to_ip("10.100.0.1")
+    gnb = str_to_ip("10.100.0.2")
+    dn = str_to_ip("93.184.216.34")
+    ue_base = str_to_ip("172.16.0.1")
+    upf = Upf(n3_address=n3)
+    sessions = 4
+    for index in range(sessions):
+        upf.sessions.create_session(
+            seid=index, ue_ip=ue_base + index, uplink_teid=10_000 + index,
+            gnb_teid=20_000 + index, gnb_ip=gnb,
+        )
+    for index in range(40):
+        session = index % sessions
+        if index % 2:
+            # Downlink: data network toward a UE, encapsulated out.
+            upf.process(build_udp(
+                dn, ue_base + session, 80, 4000,
+                payload=bytes(rng.randrange(256) for _ in range(600)),
+            ))
+        else:
+            # Uplink: a GTP-U tunnel from the gNB, decapsulated.
+            inner = build_udp(
+                ue_base + session, dn, 4000, 80,
+                payload=bytes(rng.randrange(256) for _ in range(500)),
+            )
+            inner_bytes = inner.to_bytes()
+            gtpu = GTPUHeader(teid=10_000 + session)
+            upf.process(build_udp(
+                gnb, n3, GTPU_PORT, GTPU_PORT,
+                payload=gtpu.pack(payload_len=len(inner_bytes)) + inner_bytes,
+            ))
+    return upf
+
+
+def run_observed_world(
+    seed: int = 0,
+    until: float = 3.0,
+    tracer_capacity: int = 8192,
+    registry=None,
+) -> ObservedWorld:
+    """Build and run the observed world for *seed*; returns it populated."""
+    from ..core import GatewayConfig, PXGateway
+    from ..net import Topology
+    from ..nic import HairpinQueue, RssDistributor, RxQueue
+    from ..pmtud import FPmtudDaemon, FPmtudProber
+    from ..resilience import FailoverManager
+    from ..tcpstack import TCPConnection, TCPListener
+
+    rng = random.Random(f"obs-world:{seed}")
+    obs = Observability(registry=registry, tracer=FlowTracer(tracer_capacity))
+
+    topo = Topology(seed=880_000 + seed)
+    inside = topo.add_host("inside")
+    outside = topo.add_host("outside")
+    config = GatewayConfig(
+        imtu=_IMTU, emtu=_EMTU,
+        elephant_threshold_packets=2, header_only_dma=True,
+    )
+    gateway = PXGateway(topo.sim, "pxgw", config=config)
+    topo.add_node(gateway)
+    topo.link(inside, gateway, mtu=_IMTU, bandwidth_bps=10e9, delay=5e-5)
+    topo.link(gateway, outside, mtu=_EMTU, bandwidth_bps=10e9, delay=5e-5)
+    topo.build_routes()
+    _, gw_iface, int_out, _int_in = topo.edge(inside, gateway)
+    gateway.mark_internal(gw_iface)
+    gateway.enable_resilience()
+    gateway.attach_observability(obs)
+
+    # Failover: periodic checkpoints plus one mid-run takeover, so the
+    # standby worker (and the re-armed flush timer) carry the tail of
+    # the transfers.
+    failover = FailoverManager(gateway, interval=0.25).start()
+    observe_failover(obs, failover)
+    topo.sim.schedule_at(0.9, failover.takeover)
+
+    # NIC front-end on the inside→gateway link.
+    rss = RssDistributor(queues=4)
+    queues = [RxQueue(index, capacity=512) for index in range(4)]
+    hairpin = HairpinQueue(capacity=256)
+    frontend = _NicFrontend(topo.sim, rss, queues, hairpin)
+    int_out.add_tap(frontend)
+    frontend.start()
+    observe_nic(obs, queues=queues, hairpin=hairpin, rss=rss)
+
+    # TCP both ways: download exercises merge, upload exercises split.
+    download, upload = 48_000, 24_000
+    down_listener = TCPListener(outside, 80, mss=_EMTU - 40)
+    up_listener = TCPListener(outside, 9100, mss=_EMTU - 40)
+    down = TCPConnection(inside, 40000, outside.ip, 80, mss=_IMTU - 40)
+    up = TCPConnection(inside, 40001, outside.ip, 9100, mss=_IMTU - 40)
+    down.connect()
+    up.connect()
+
+    # UDP caravans both ways.
+    inside.enable_caravan_stack(_IMTU)
+    received_in: List[bytes] = []
+    received_out: List[bytes] = []
+    inside.on_udp(4433, lambda p, h: received_in.append(p.payload))
+    outside.on_udp(5544, lambda p, h: received_out.append(p.payload))
+    burst_in = [bytes([1, i & 0xFF]) * 500 for i in range(24)]
+    burst_out = [bytes([2, i & 0xFF]) * 600 for i in range(12)]
+
+    def inbound_burst(start: int) -> None:
+        for payload in burst_in[start:start + 12]:
+            outside.send_udp(inside.ip, 4433, 4433, payload)
+
+    topo.sim.schedule_at(0.30, inbound_burst, 0)
+    topo.sim.schedule_at(0.60, inbound_burst, 12)
+    topo.sim.schedule_at(0.70, inside.send_udp_bulk,
+                         outside.ip, 5544, 5544, burst_out)
+
+    # F-PMTUD across the gateway: the probe fragments on the eMTU link.
+    daemon = FPmtudDaemon(outside)
+    prober = FPmtudProber(inside, src_port=_PROBER_PORT)
+    prober.tracer = obs.tracer
+    observe_pmtud(obs, prober=prober, daemon=daemon)
+    pmtud_results: list = []
+    topo.sim.schedule_at(
+        0.40, prober.probe, outside.ip, _IMTU, pmtud_results.append
+    )
+
+    # Let the handshakes settle, then start the bulk transfers.
+    topo.run(until=0.2)
+    down_listener.connections[0].send_bulk(download)
+    up.send_bulk(upload)
+    topo.run(until=until)
+
+    # Standalone UPF exercise (no topology needed).
+    upf = _run_upf(rng)
+    observe_upf(obs, upf)
+
+    return ObservedWorld(
+        seed=seed,
+        obs=obs,
+        topo=topo,
+        gateway=gateway,
+        inside=inside,
+        outside=outside,
+        upf=upf,
+        prober=prober,
+        daemon=daemon,
+        failover=failover,
+        rss=rss,
+        queues=queues,
+        hairpin=hairpin,
+        notes={
+            "downloaded": down.bytes_delivered,
+            "uploaded": up_listener.connections[0].bytes_delivered
+            if up_listener.connections else 0,
+            "datagrams_in": len(received_in),
+            "datagrams_out": len(received_out),
+            "pmtu": pmtud_results[-1].pmtu if pmtud_results else None,
+        },
+    )

@@ -336,8 +336,15 @@ def run_benchmarks(
     quick: bool = False,
     reps: Optional[int] = None,
     only: Optional[List[str]] = None,
+    registry=None,
 ) -> dict:
-    """Run the suite and return the report dict (see :data:`BENCH_SCHEMA`)."""
+    """Run the suite and return the report dict (see :data:`BENCH_SCHEMA`).
+
+    When *registry* (a :class:`repro.obs.MetricsRegistry`) is given, the
+    report rows are mirrored into it as ``px_bench_*`` gauges, so bench
+    results export alongside datapath metrics and two runs can be
+    compared with ``MetricsRegistry.diff``.
+    """
     if reps is None:
         reps = 3 if quick else 5
     if reps < 1:
@@ -362,11 +369,16 @@ def run_benchmarks(
                 p95_ns_per_pkt=_p95(timings) / packets,
             )
         )
-    return {
+    report = {
         "schema": BENCH_SCHEMA,
         "quick": quick,
         "results": [result.row() for result in results],
     }
+    if registry is not None:
+        from ..obs import record_bench_report
+
+        record_bench_report(registry, report)
+    return report
 
 
 def write_report(report: dict, path: str) -> None:

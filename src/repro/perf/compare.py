@@ -72,8 +72,15 @@ class CompareResult:
     new_pps: float
     ratio: float  # new / base; < 1 is a slowdown
     regressed: bool
+    #: The bench exists in the baseline but not the candidate report.
+    missing: bool = False
 
     def line(self) -> str:
+        if self.missing:
+            return (
+                f"{self.bench:22s} {self.base_pps:14,.0f} -> "
+                f"{'(absent)':>14s} pkts/s           MISSING"
+            )
         verdict = "REGRESSED" if self.regressed else "ok"
         return (
             f"{self.bench:22s} {self.base_pps:14,.0f} -> {self.new_pps:14,.0f} pkts/s "
@@ -82,22 +89,29 @@ class CompareResult:
 
 
 def compare_reports(base: dict, new: dict, threshold: float = 0.30) -> List[CompareResult]:
-    """Compare benches present in both reports.
+    """Compare the candidate report against the baseline.
 
     A bench regresses when its fresh rate falls below
-    ``base * (1 - threshold)``.  Benches only in one report are
-    skipped — adding a benchmark must not fail the gate retroactively.
+    ``base * (1 - threshold)``.  A bench present in the baseline but
+    absent from the candidate is reported as a *failure* (``missing``,
+    ``regressed=True``): a silently dropped benchmark is exactly how a
+    deleted fast path escapes the gate.  Benches only in the candidate
+    are skipped — adding a benchmark must not fail the gate
+    retroactively.
     """
     if not 0.0 <= threshold < 1.0:
         raise ValueError("threshold must be in [0, 1)")
     validate_report(base)
     validate_report(new)
     base_rows = {row["bench"]: row for row in base["results"]}
+    new_names = {row["bench"] for row in new["results"]}
     results: List[CompareResult] = []
+    common = 0
     for row in new["results"]:
         baseline = base_rows.get(row["bench"])
         if baseline is None:
             continue
+        common += 1
         base_pps = float(baseline["pkts_per_sec"])
         new_pps = float(row["pkts_per_sec"])
         results.append(
@@ -109,8 +123,20 @@ def compare_reports(base: dict, new: dict, threshold: float = 0.30) -> List[Comp
                 regressed=new_pps < base_pps * (1.0 - threshold),
             )
         )
-    if not results:
+    if not common:
         raise ValueError("no common benchmarks between the two reports")
+    for name, baseline in base_rows.items():
+        if name not in new_names:
+            results.append(
+                CompareResult(
+                    bench=name,
+                    base_pps=float(baseline["pkts_per_sec"]),
+                    new_pps=0.0,
+                    ratio=0.0,
+                    regressed=True,
+                    missing=True,
+                )
+            )
     return results
 
 

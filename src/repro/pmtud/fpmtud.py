@@ -112,7 +112,19 @@ class FPmtudProber:
         self.daemon_port = daemon_port
         self._pending: Dict[int, dict] = {}
         self._next_id = 1
+        self.probes_sent = 0
+        self.reports_received = 0
+        self.timeouts = 0
+        #: Most recently discovered PMTU (None until a report lands).
+        self.last_pmtu: Optional[int] = None
+        #: Optional :class:`repro.obs.FlowTracer` recording the probe
+        #: lifecycle (probe → report|timeout); guarded at call sites.
+        self.tracer = None
         host.on_udp(src_port, self._on_report)
+
+    def pending_probes(self) -> int:
+        """Probes launched but not yet reported or timed out."""
+        return len(self._pending)
 
     def probe(
         self,
@@ -142,6 +154,12 @@ class FPmtudProber:
         # DF clear: routers are *expected* to fragment the probe.
         self.host.send_udp(dst, self.src_port, self.daemon_port, payload,
                            dont_fragment=False)
+        self.probes_sent += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                sent_at, "pmtud-probe",
+                probe_id=probe_id, dst=dst, size=probe_size,
+            )
         return probe_id
 
     def _on_report(self, packet: Packet, host: Host) -> None:
@@ -154,6 +172,13 @@ class FPmtudProber:
             return
         pending["timer"].cancel()
         pmtu = max(sizes) if sizes else pending["probe_size"]
+        self.reports_received += 1
+        self.last_pmtu = pmtu
+        if self.tracer is not None:
+            self.tracer.record(
+                self.host.sim.now, "pmtud-report",
+                probe_id=probe_id, pmtu=pmtu, fragments=len(sizes),
+            )
         result = FPmtudResult(
             pmtu=pmtu,
             elapsed=self.host.sim.now - pending["sent_at"],
@@ -166,5 +191,10 @@ class FPmtudProber:
         pending = self._pending.pop(probe_id, None)
         if pending is None:
             return
+        self.timeouts += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                self.host.sim.now, "pmtud-timeout", probe_id=probe_id
+            )
         if pending["on_timeout"]:
             pending["on_timeout"]()

@@ -165,6 +165,13 @@ class FailoverManager:
         for packet in flushed:
             gateway.forward(packet)
         self.takeovers += 1
+        if gateway.obs is not None:
+            gateway.obs.trace(
+                self.sim.now, "failover-takeover",
+                gateway=gateway.name, to_worker=standby.index,
+                flushed=len(flushed),
+                checkpoint_age=self.sim.now - checkpoint.taken_at,
+            )
         return old
 
     # ------------------------------------------------------------------

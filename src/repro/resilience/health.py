@@ -203,6 +203,12 @@ class HealthMonitor:
         from_state = self.state
         self.state = to_state
         self.transitions.append((self.sim.now, from_state, to_state, reason))
+        if self.gateway.obs is not None:
+            self.gateway.obs.trace(
+                self.sim.now, "health-transition",
+                gateway=self.gateway.name,
+                from_state=from_state, to_state=to_state, reason=reason,
+            )
         # Pending merge state is flushed (never dropped) on every mode
         # change away from NORMAL, so degradation loses no bytes.
         for packet in self.gateway.worker.set_mode(_MODE_FOR[to_state], self.sim.now):

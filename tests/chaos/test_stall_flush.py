@@ -1,0 +1,71 @@
+"""Regression: the flush timer during a gateway stall window.
+
+A stalled gateway used to re-arm ``_flush_handle`` every merge-timeout
+tick for the whole stall — a busy loop burning simulator events while
+emitting nothing.  Now the tick that lands inside the window goes
+silent (no flush, no re-arm) and ``_drain_stalled`` flushes exactly
+once on resume.
+"""
+
+from repro.core import Bound, GatewayConfig, GatewayWorker, PXGateway
+from repro.net import Topology
+from repro.workload import make_tcp_sources
+
+_CONFIG = GatewayConfig(elephant_threshold_packets=1, hairpin_small_flows=False)
+
+
+def make_stalled_gateway(stall=0.5):
+    topo = Topology()
+    gateway = PXGateway(topo.sim, "pxgw", config=_CONFIG)
+    topo.add_node(gateway)
+    source = make_tcp_sources(1, 1448)[0]
+    for index in range(3):
+        gateway.worker.process(source.next_packet(), Bound.INBOUND,
+                               now=index * 1e-6)
+    assert gateway.worker.pending()
+    gateway._ensure_flush_timer()
+    assert gateway._flush_handle is not None
+    gateway.stall(stall)
+    return topo, gateway
+
+
+def test_no_flush_and_no_rearm_while_stalled():
+    topo, gateway = make_stalled_gateway(stall=0.5)
+    topo.run(until=0.49)
+    # The one armed tick fired inside the window, emitted nothing, and
+    # did not re-arm: the merge buffer still holds the whole stream.
+    assert gateway._flush_handle is None
+    assert gateway.worker.pending()
+    assert gateway.worker.stats.tcp_payload_out == 0
+
+
+def test_stall_window_is_not_a_busy_loop():
+    # With a 0.5 s stall and a 500 µs merge timeout the old behaviour
+    # re-armed ~1000 ticks; the fix leaves a handful of events total
+    # (the single tick plus the drain).
+    topo, gateway = make_stalled_gateway(stall=0.5)
+    before = topo.sim.events_processed
+    topo.run(until=0.49)
+    assert topo.sim.events_processed - before <= 5
+
+
+def test_resume_flushes_exactly_once():
+    topo, gateway = make_stalled_gateway(stall=0.5)
+    fed = gateway.worker.stats.tcp_payload_in
+    topo.run(until=0.6)
+    # _drain_stalled flushed the aged contexts on resume; with nothing
+    # left pending the timer stays disarmed.
+    assert gateway.worker.stats.tcp_payload_out == fed
+    assert not gateway.worker.pending()
+    assert gateway._flush_handle is None
+    assert not gateway.worker.stats.conservation_errors()
+
+
+def test_resume_with_no_backlog_stays_silent():
+    topo = Topology()
+    gateway = PXGateway(topo.sim, "pxgw", config=_CONFIG)
+    topo.add_node(gateway)
+    gateway.stall(0.1)
+    topo.run(until=0.3)
+    assert gateway._flush_handle is None
+    assert not gateway.worker.pending()

@@ -1,0 +1,50 @@
+"""CLI coverage for `repro metrics` and `repro trace`."""
+
+import json
+
+from repro.cli import main
+
+
+def test_metrics_prometheus_to_stdout(capsys):
+    assert main(["metrics", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE px_gateway_rx_packets_total counter" in out
+    assert 'px_gateway_rx_packets_total{gateway="pxgw"}' in out
+    assert "# TYPE px_gateway_inbound_packet_bytes histogram" in out
+
+
+def test_metrics_json_to_file(tmp_path, capsys):
+    out_path = tmp_path / "metrics.json"
+    assert main(["metrics", "--format", "json", "--out", str(out_path)]) == 0
+    assert "written to" in capsys.readouterr().out
+    dump = json.loads(out_path.read_text())
+    names = {entry["name"] for entry in dump["series"]}
+    assert "px_upf_uplink_packets_total" in names
+    assert "px_pmtud_probes_sent_total" in names
+
+
+def test_trace_summary(capsys):
+    assert main(["trace", "--summary"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["recorded"] > 0
+    assert summary["kinds"]["worker-swap"] == 1
+
+
+def test_trace_filtered_events_are_json_lines(capsys):
+    assert main(["trace", "--kind", "pmtud-report", "--limit", "5"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines
+    for line in lines:
+        event = json.loads(line)
+        assert event["kind"] == "pmtud-report"
+        assert event["pmtu"] == 1500
+
+
+def test_bench_metrics_out(tmp_path):
+    bench_out = tmp_path / "bench.json"
+    prom_out = tmp_path / "bench.prom"
+    assert main(["bench", "--quick", "--reps", "1", "--only", "checksum",
+                 "--out", str(bench_out), "--metrics-out", str(prom_out)]) == 0
+    text = prom_out.read_text()
+    assert 'px_bench_pkts_per_sec{bench="checksum"}' in text
+    assert 'px_bench_reps{bench="checksum"} 1' in text

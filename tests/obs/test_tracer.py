@@ -1,0 +1,60 @@
+"""Unit tests for the bounded flow tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import FlowTracer
+
+
+def test_record_preserves_order_and_fields():
+    tracer = FlowTracer()
+    tracer.record(0.1, "ingress", worker=0, bytes=1500)
+    tracer.record(0.2, "egress", worker=0, bytes=9000)
+    events = tracer.events()
+    assert events == [
+        {"time": 0.1, "kind": "ingress", "worker": 0, "bytes": 1500},
+        {"time": 0.2, "kind": "egress", "worker": 0, "bytes": 9000},
+    ]
+    assert tracer.events(kind="egress") == events[1:]
+    assert tracer.kinds() == {"egress": 1, "ingress": 1}
+
+
+def test_ring_keeps_newest_and_counts_shed_events():
+    tracer = FlowTracer(capacity=3)
+    for index in range(10):
+        tracer.record(float(index), "tick", n=index)
+    assert len(tracer) == 3
+    assert tracer.recorded == 10
+    assert tracer.dropped == 7
+    assert [event["n"] for event in tracer.events()] == [7, 8, 9]
+
+
+def test_sequence_is_a_comparable_fingerprint():
+    a, b = FlowTracer(), FlowTracer()
+    for tracer in (a, b):
+        tracer.record(0.5, "merge", bytes=2, spliced=True)
+    assert a.sequence() == b.sequence()
+    b.record(0.6, "merge", bytes=3, spliced=False)
+    assert a.sequence() != b.sequence()
+
+
+def test_clear_keeps_the_recorded_total():
+    tracer = FlowTracer()
+    tracer.record(0.0, "x")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.recorded == 1
+
+
+def test_to_json_serializes():
+    tracer = FlowTracer(capacity=2)
+    tracer.record(0.0, "x", flow="1.2.3.4:80")
+    dump = json.loads(json.dumps(tracer.to_json()))
+    assert dump["capacity"] == 2
+    assert dump["events"][0]["flow"] == "1.2.3.4:80"
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlowTracer(capacity=0)

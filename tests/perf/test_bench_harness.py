@@ -74,6 +74,47 @@ def test_compare_flags_regressions():
     assert "new-only" not in results  # new benches never fail the gate
 
 
+def test_compare_flags_dropped_benchmarks_as_failures():
+    base = {
+        "schema": BENCH_SCHEMA,
+        "results": [
+            {"bench": "a", "pkts_per_sec": 100.0, "ns_per_pkt": 1e7, "reps": 3},
+            {"bench": "b", "pkts_per_sec": 200.0, "ns_per_pkt": 5e6, "reps": 3},
+        ],
+    }
+    new = {
+        "schema": BENCH_SCHEMA,
+        "results": [
+            {"bench": "a", "pkts_per_sec": 100.0, "ns_per_pkt": 1e7, "reps": 3},
+        ],
+    }
+    results = {r.bench: r for r in compare_reports(base, new, threshold=0.30)}
+    assert set(results) == {"a", "b"}
+    assert not results["a"].regressed
+    dropped = results["b"]
+    assert dropped.missing and dropped.regressed
+    assert dropped.new_pps == 0.0 and dropped.ratio == 0.0
+    assert "MISSING" in dropped.line()
+    assert "MISSING" not in results["a"].line()
+
+
+def test_compare_still_requires_common_benchmarks():
+    base = {
+        "schema": BENCH_SCHEMA,
+        "results": [
+            {"bench": "a", "pkts_per_sec": 100.0, "ns_per_pkt": 1e7, "reps": 3},
+        ],
+    }
+    new = {
+        "schema": BENCH_SCHEMA,
+        "results": [
+            {"bench": "z", "pkts_per_sec": 100.0, "ns_per_pkt": 1e7, "reps": 3},
+        ],
+    }
+    with pytest.raises(ValueError, match="no common benchmarks"):
+        compare_reports(base, new)
+
+
 def test_validate_rejects_malformed_reports():
     with pytest.raises(ValueError):
         validate_report({"schema": "bogus/9", "results": []})

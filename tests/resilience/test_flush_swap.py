@@ -1,0 +1,96 @@
+"""Regression: the delayed-merge flush timer across worker swaps.
+
+The flush timer used to be judged against the *retired* worker's merge
+engines: a standby swapped in mid-merge never got a flush tick (its
+buffered bytes sat forever), and a stale armed timer could outlive the
+worker it was armed for.  ``GatewayWorker.pending()`` plus the
+cancel/re-arm in ``swap_worker`` are the fix; these tests pin it.
+"""
+
+from repro.core import Bound, GatewayConfig, GatewayWorker, PXGateway
+from repro.net import Topology
+from repro.workload import make_tcp_sources, make_udp_sources
+
+
+def make_worker(index=0):
+    return GatewayWorker(GatewayConfig(elephant_threshold_packets=1,
+                                       hairpin_small_flows=False),
+                         index=index)
+
+
+def feed_mid_merge(worker, packets=3, payload=1448, at=0.0):
+    """Leave *worker* holding a half-merged TCP stream."""
+    source = make_tcp_sources(1, payload)[0]
+    for index in range(packets):
+        worker.process(source.next_packet(), Bound.INBOUND,
+                       now=at + index * 1e-6)
+    assert worker.merge.pending_bytes() > 0
+
+
+def make_gateway():
+    topo = Topology()
+    gateway = PXGateway(topo.sim, "pxgw",
+                        config=GatewayConfig(elephant_threshold_packets=1,
+                                             hairpin_small_flows=False))
+    topo.add_node(gateway)
+    return topo, gateway
+
+
+class TestWorkerPending:
+    def test_reflects_tcp_merge_state(self):
+        worker = make_worker()
+        assert not worker.pending()
+        feed_mid_merge(worker)
+        assert worker.pending()
+        worker.end_batch(now=1.0)  # everything has aged past the timeout
+        assert not worker.pending()
+
+    def test_reflects_caravan_state(self):
+        worker = make_worker()
+        source = make_udp_sources(1, 900)[0]
+        for index in range(3):
+            worker.process(source.next_packet(), Bound.INBOUND, now=index * 1e-6)
+        assert worker.caravan_merge.pending_packets() > 0
+        assert worker.pending()
+        worker.end_batch(now=1.0)
+        assert not worker.pending()
+
+
+class TestSwapReArmsFlushTimer:
+    def test_pending_standby_gets_a_flush_tick(self):
+        topo, gateway = make_gateway()
+        standby = make_worker(index=1)
+        feed_mid_merge(standby)
+        assert gateway._flush_handle is None
+
+        gateway.swap_worker(standby)
+        # The swap judged the timer against the NEW worker: armed.
+        assert gateway._flush_handle is not None
+        topo.run(until=0.05)
+        # The tick flushed the standby's buffered stream and disarmed.
+        assert not standby.pending()
+        assert gateway._flush_handle is None
+
+    def test_stale_timer_for_an_empty_standby_is_cancelled(self):
+        topo, gateway = make_gateway()
+        feed_mid_merge(gateway.worker)
+        gateway._ensure_flush_timer()
+        assert gateway._flush_handle is not None
+
+        gateway.swap_worker(make_worker(index=1))
+        # Nothing pending on the new worker: the stale timer is gone,
+        # and running on does not resurrect it.
+        assert gateway._flush_handle is None
+        topo.run(until=0.05)
+        assert gateway._flush_handle is None
+
+    def test_swap_mid_merge_preserves_conservation(self):
+        topo, gateway = make_gateway()
+        standby = make_worker(index=1)
+        feed_mid_merge(standby)
+        fed = standby.stats.tcp_payload_in
+        gateway.swap_worker(standby)
+        topo.run(until=0.05)
+        # The flush tick balanced the standby's books on its own.
+        assert standby.stats.tcp_payload_out == fed
+        assert not standby.stats.conservation_errors()
