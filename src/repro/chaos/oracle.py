@@ -385,7 +385,52 @@ class InvariantOracle:
         )
 
     # ------------------------------------------------------------------
-    # 5. Recovery: degradation must be bounded and end HEALTHY
+    # 5. Span balance: every opened span must be accounted for
+    # ------------------------------------------------------------------
+    def check_spans(self, tracker, gateway) -> None:
+        """The span tracker's conservation law and FIFO reconciliation.
+
+        Duck-typed over :class:`repro.obs.SpanTracker`.  Three claims:
+
+        * **balance** — ``opened == closed + dropped + open``: no span
+          is ever lost or double-settled, under every fault class.
+        * **no anomalies** — the tracker never saw an impossibility
+          (closing an unknown span, consuming bytes or datagrams that
+          were never enqueued).
+        * **FIFO mirror** — the bytes/datagrams the span FIFOs believe
+          are buffered equal what the live merge engines actually hold,
+          so open spans correspond 1:1 to real buffered payload.
+        """
+        balance = tracker.balance()
+        self.expect(
+            balance["opened"]
+            == balance["closed"] + balance["dropped"] + balance["open"],
+            "span-balance",
+            f"span identity broken: {balance}",
+        )
+        self.expect(
+            tracker.anomalies == 0,
+            "span-balance",
+            f"span tracker saw {tracker.anomalies} accounting anomalies",
+        )
+        worker = gateway.worker
+        self.expect(
+            tracker.pending_merge_bytes() == worker.merge.pending_bytes(),
+            "span-balance",
+            f"merge FIFO mirror drifted: spans={tracker.pending_merge_bytes()} "
+            f"engine={worker.merge.pending_bytes()}",
+        )
+        self.expect(
+            tracker.pending_caravan_datagrams()
+            == worker.caravan_merge.pending_packets(),
+            "span-balance",
+            f"caravan FIFO mirror drifted: "
+            f"spans={tracker.pending_caravan_datagrams()} "
+            f"engine={worker.caravan_merge.pending_packets()}",
+        )
+
+    # ------------------------------------------------------------------
+    # 6. Recovery: degradation must be bounded and end HEALTHY
     # ------------------------------------------------------------------
     def check_recovery(self, monitor, max_excursion: float = 1.0) -> None:
         """The resilience layer must have *recovered* by scenario end.

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import FPMTUD_PORT, GatewayConfig, PXGateway
 from ..net import Topology
+from ..obs import Observability, SpanTracker
 from ..packet import IPProto
 from ..pmtud import FPmtudDaemon, FPmtudProber
 from ..sim import Netem
@@ -84,8 +85,9 @@ class ChaosWorld:
     mid_mtu: Optional[int] = None
     #: The resilience HealthMonitor attached to the gateway.
     monitor: Optional[object] = None
-    #: Metrics-only Observability bundle (no tracer: scrape-time pull
-    #: collectors cannot perturb the datapath or its digests).
+    #: Observability bundle: metrics registry + span tracker, no tracer.
+    #: Both are read-only mirrors of the datapath, so attaching them
+    #: cannot perturb the digests (the perturbation guard pins this).
     obs: Optional[object] = None
 
 
@@ -165,9 +167,14 @@ def build_world(profile: str, seed: int) -> ChaosWorld:
     # The resilience layer under test: every scenario must end with the
     # gateway back in HEALTHY (oracle check 5).
     monitor = gateway.enable_resilience()
-    # Metrics registry under test: the oracle reconciles its exports
-    # against the live conservation counters at scenario end.
-    obs = gateway.attach_observability()
+    # Metrics registry + span tracker under test: the oracle reconciles
+    # the registry exports against the live conservation counters and
+    # asserts the span-balance identity at scenario end.  Both are
+    # read-only mirrors of the datapath (scrape-time pull collectors;
+    # span FIFOs driven by worker hooks that never touch packets, RNGs,
+    # or scheduling), so the chaos digests cannot move — the
+    # perturbation guard in tests/obs pins that.
+    obs = gateway.attach_observability(Observability(spans=SpanTracker()))
 
     taps: Dict[str, ChaosTap] = {}
     for role, link in links.items():
@@ -315,6 +322,8 @@ def _check_common(world: ChaosWorld, oracle: InvariantOracle) -> None:
         oracle.check_recovery(world.monitor)
     if world.obs is not None:
         oracle.check_registry(world.obs.registry, world.gateway)
+        if world.obs.spans is not None:
+            oracle.check_spans(world.obs.spans, world.gateway)
     oracle.check_segment_sizes(world.taps["int_in"], _IMTU, _INSIDE_MSS)
     oracle.check_segment_sizes(world.taps["int_out"], _IMTU, _INSIDE_MSS)
     oracle.check_segment_sizes(world.taps["ext_in"], _EMTU, _OUTSIDE_MSS)
@@ -466,6 +475,8 @@ def _run_pmtud(world: ChaosWorld, oracle: InvariantOracle) -> Dict[str, object]:
         oracle.check_recovery(world.monitor)
     if world.obs is not None:
         oracle.check_registry(world.obs.registry, world.gateway)
+        if world.obs.spans is not None:
+            oracle.check_spans(world.obs.spans, world.gateway)
     oracle.check_segment_sizes(world.taps["ext_in"], _EMTU)
     oracle.check_segment_sizes(world.taps["far_in"], world.mid_mtu or _EMTU)
     return {

@@ -89,6 +89,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print at most the last N events")
     trace.add_argument("--summary", action="store_true",
                        help="print per-kind counts instead of events")
+    trace.add_argument("--jsonl", action="store_true",
+                       help="force one compact JSON object per line "
+                            "(events, or the summary with --summary)")
+
+    spans = commands.add_parser(
+        "spans",
+        help="run the seeded observability world, print its lifecycle spans",
+    )
+    spans.add_argument("--seed", type=int, default=0)
+    spans.add_argument("--summary", action="store_true",
+                       help="print balance/kind/latency aggregates only")
+    spans.add_argument("--jsonl", action="store_true",
+                       help="one finished span per line instead of one blob")
+    spans.add_argument("--limit", type=int, default=None,
+                       help="include at most the last N finished spans")
+    spans.add_argument("--out", default=None,
+                       help="write the export here instead of stdout")
+
+    timeline = commands.add_parser(
+        "timeline",
+        help="run the seeded observability world, print its in-sim "
+             "telemetry timeline (windowed per-series deltas)",
+    )
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument("--interval", type=float, default=0.05,
+                          help="sim-seconds between scrapes")
+    timeline.add_argument("--format", choices=("json", "jsonl"),
+                          default="json")
+    timeline.add_argument("--out", default=None,
+                          help="write the export here instead of stdout")
+
+    alerts = commands.add_parser(
+        "alerts",
+        help="run the seeded observability world, print its SLO alert "
+             "rules and sim-time state transitions",
+    )
+    alerts.add_argument("--seed", type=int, default=0)
+    alerts.add_argument("--transitions", action="store_true",
+                        help="print only the transition log, one per line")
+    alerts.add_argument("--out", default=None,
+                        help="write the export here instead of stdout")
 
     report = commands.add_parser(
         "resilience-report",
@@ -304,17 +345,95 @@ def _cmd_trace(args) -> int:
     world = run_observed_world(seed=args.seed)
     tracer = world.obs.tracer
     if args.summary:
-        print(json.dumps({
+        summary = {
             "recorded": tracer.recorded,
             "dropped": tracer.dropped,
             "kinds": tracer.kinds(),
-        }, indent=2, sort_keys=True))
+        }
+        if args.jsonl:
+            print(json.dumps(summary, sort_keys=True, separators=(",", ":")))
+        else:
+            print(json.dumps(summary, indent=2, sort_keys=True))
         return 0
     events = tracer.events(kind=args.kind)
     if args.limit is not None:
         events = events[-args.limit:]
     for event in events:
-        print(json.dumps(event, sort_keys=True))
+        if args.jsonl:
+            print(json.dumps(event, sort_keys=True, separators=(",", ":")))
+        else:
+            print(json.dumps(event, sort_keys=True))
+    return 0
+
+
+def _emit_text(text: str, out, label: str) -> None:
+    """Write an export to a file (with a note) or stdout."""
+    if not text.endswith("\n"):
+        text += "\n"
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text)
+        print(f"{label} written to {out}")
+    else:
+        print(text, end="")
+
+
+def _cmd_spans(args) -> int:
+    import json
+
+    from .obs import LATENCY_METRICS, run_observed_world
+
+    world = run_observed_world(seed=args.seed)
+    tracker = world.obs.spans
+    if args.summary:
+        text = json.dumps({
+            "balance": tracker.balance(),
+            "anomalies": tracker.anomalies,
+            "shed": tracker.shed,
+            "kinds": tracker.kinds(),
+            "stages": tracker.stages(),
+            "latency": {
+                metric: {
+                    "count": tracker.latency_count(metric),
+                    "median": tracker.latency_median(metric),
+                }
+                for metric in sorted(LATENCY_METRICS)
+            },
+        }, indent=2, sort_keys=True)
+    elif args.jsonl:
+        text = tracker.to_jsonl(limit=args.limit)
+    else:
+        text = tracker.to_json(limit=args.limit, indent=2)
+    _emit_text(text, args.out, "span export")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .obs import run_observed_world
+
+    world = run_observed_world(seed=args.seed, scrape_interval=args.interval)
+    if args.format == "jsonl":
+        text = world.timeline.to_jsonl()
+    else:
+        text = world.timeline.to_json(indent=2)
+    _emit_text(text, args.out, f"timeline ({world.timeline.ticks} ticks)")
+    return 0
+
+
+def _cmd_alerts(args) -> int:
+    import json
+
+    from .obs import run_observed_world
+
+    world = run_observed_world(seed=args.seed)
+    if args.transitions:
+        text = "\n".join(
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+            for event in world.alerts.transitions
+        )
+    else:
+        text = world.alerts.to_json(indent=2)
+    _emit_text(text, args.out, "alert export")
     return 0
 
 
@@ -417,6 +536,9 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "spans": _cmd_spans,
+    "timeline": _cmd_timeline,
+    "alerts": _cmd_alerts,
     "resilience-report": _cmd_resilience_report,
 }
 

@@ -232,10 +232,17 @@ class CaravanMergeEngine:
         return emitted
 
     def _materialize(self, context: _CaravanContext) -> Packet:
+        # The batch-wait stamp rides in ``meta`` (never serialized, never
+        # digest-hashed): how long the context existed before shipping,
+        # read by the span tracker's px_caravan_batch_wait_seconds.
         if len(context.packets) == 1:
-            return context.packets[0]
+            packet = context.packets[0]
+            packet.meta["caravan_first_at"] = context.created_at
+            return packet
         self.built += 1
-        return encode_caravan(context.packets)
+        caravan = encode_caravan(context.packets)
+        caravan.meta["caravan_first_at"] = context.created_at
+        return caravan
 
     def _flush_key(self, key: FlowKey) -> List[Packet]:
         context = self._contexts.pop(key, None)

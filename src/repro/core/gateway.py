@@ -158,6 +158,7 @@ class PXGateway(Router):
             obs = Observability()
         self.obs = obs
         self.worker.tracer = obs.tracer
+        self.worker.spans = obs.spans
         observe_gateway(obs, self)
         return obs
 
@@ -174,6 +175,12 @@ class PXGateway(Router):
             new_worker.caravan_gate = self.negotiator.allow_caravan
         if self.obs is not None:
             new_worker.tracer = self.obs.tracer
+            new_worker.spans = self.obs.spans
+            if self.obs.spans is not None:
+                # The retired worker's buffered bytes are re-emitted from
+                # the failover checkpoint through forward(), bypassing
+                # any worker — settle their ingress spans here.
+                self.obs.spans.flush_fifos(self.sim.now, outcome="failover")
             self.obs.trace(
                 self.sim.now, "worker-swap",
                 gateway=self.name, from_worker=old.index, to_worker=new_worker.index,
@@ -217,8 +224,8 @@ class PXGateway(Router):
                 self.sim.now, "stall-drain",
                 gateway=self.name, queued=len(stalled),
             )
-        for packet, interface in stalled:
-            self._process(packet, interface)
+        for packet, interface, queued_at in stalled:
+            self._process(packet, interface, ingress_at=queued_at)
         # The flush timer stayed silent for the whole stall window (see
         # _on_flush_timer); flush whatever aged past the merge timeout
         # exactly once, then let the timer re-arm normally.
@@ -232,11 +239,13 @@ class PXGateway(Router):
         if self.trace:
             self.trace.record(self.sim.now, self.name, "rx", packet)
         if self.sim.now < self._stall_until:
-            self._stalled.append((packet, interface))
+            self._stalled.append((packet, interface, self.sim.now))
             return
         self._process(packet, interface)
 
-    def _process(self, packet: Packet, interface: Interface) -> None:
+    def _process(
+        self, packet: Packet, interface: Interface, ingress_at: float = None
+    ) -> None:
         ip = packet.ip
         if ip.dst in self._if_by_ip:
             if self._imtu_speaker is not None and self._imtu_speaker.handle(
@@ -254,6 +263,11 @@ class PXGateway(Router):
         route = self.routes.lookup(ip.dst)
         if route is None:
             self.dropped += 1
+            if self.obs is not None and self.obs.spans is not None:
+                now = self.sim.now
+                self.obs.spans.sync_drop(
+                    now if ingress_at is None else ingress_at, now, "no-route"
+                )
             return
         egress = route.interface
 
@@ -263,6 +277,11 @@ class PXGateway(Router):
             # Peer b-network advertised an equal-or-larger iMTU: forward
             # large packets and caravans untranslated.
             self.untranslated += 1
+            if self.obs is not None and self.obs.spans is not None:
+                now = self.sim.now
+                self.obs.spans.sync(
+                    now if ingress_at is None else ingress_at, now, "untranslated"
+                )
             self.forward(packet, arrived_on=interface)
             return
         else:
@@ -271,10 +290,17 @@ class PXGateway(Router):
         # Passthrough only ever applies to UDP (probes/fragments), so
         # gate the check on the protocol byte before paying for a call.
         if ip.protocol == IPProto.UDP and self._is_passthrough(packet):
+            if self.obs is not None and self.obs.spans is not None:
+                now = self.sim.now
+                self.obs.spans.sync(
+                    now if ingress_at is None else ingress_at, now, "gateway-passthrough"
+                )
             self.forward(packet, arrived_on=interface)
             return
 
-        for out in self.worker.process(packet, bound, now=self.sim.now):
+        for out in self.worker.process(
+            packet, bound, now=self.sim.now, ingress_at=ingress_at
+        ):
             self.forward(out, arrived_on=interface)
         self._ensure_flush_timer()
 

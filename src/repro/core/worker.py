@@ -13,6 +13,7 @@ from typing import List
 
 from ..cpu import DEFAULT_GATEWAY_COSTS, CycleAccount, GatewayCosts
 from ..nic.dma import FULL_DMA, HEADER_ONLY_DMA
+from ..obs.spans import CARAVAN_BATCH_WAIT_SECONDS
 from ..packet import IPProto, PX_CARAVAN_TOS, Packet, TCPFlags
 from .caravan import (
     CaravanMergeEngine,
@@ -96,6 +97,13 @@ class GatewayWorker:
         # Sim time of the event being processed, for trace records made
         # on paths (``_emit``) that are not handed ``now``.
         self._trace_now = 0.0
+        #: Optional :class:`repro.obs.SpanTracker`; same guard contract
+        #: as the tracer — ``None`` costs one attribute test per packet.
+        self.spans = None
+        # Gateway ingress time of the packet being processed.  Differs
+        # from ``now`` for packets that queued during a stall; spans
+        # open at ingress so residency includes that queueing.
+        self._span_at = 0.0
 
     # ------------------------------------------------------------------
     def pending(self) -> bool:
@@ -135,11 +143,22 @@ class GatewayWorker:
         if mode == WorkerMode.NORMAL:
             return []
         flushed = self.merge.flush() + self.caravan_merge.flush()
-        return self._emit(self._account_flush(flushed), Bound.INBOUND, data=True)
+        return self._emit(self._account_flush(flushed, now), Bound.INBOUND, data=True)
 
     # ------------------------------------------------------------------
-    def process(self, packet: Packet, bound: str, now: float = 0.0) -> List[Packet]:
-        """Run one packet through the pipeline; returns egress packets."""
+    def process(
+        self,
+        packet: Packet,
+        bound: str,
+        now: float = 0.0,
+        ingress_at: float = None,
+    ) -> List[Packet]:
+        """Run one packet through the pipeline; returns egress packets.
+
+        ``ingress_at`` is when the packet reached the gateway (defaults
+        to ``now``); it differs for packets re-processed after a stall,
+        so span residency covers the queueing too.
+        """
         costs = self.costs
         account = self.account
         breakdown = account.breakdown
@@ -159,6 +178,9 @@ class GatewayWorker:
                 worker=self.index, bound=bound, proto=int(proto),
                 bytes=size, flow=str(flow) if flow is not None else "-",
             )
+
+        if self.spans is not None:
+            self._span_at = now if ingress_at is None else ingress_at
 
         if self.mode == WorkerMode.BYPASS:
             return self._bypass(packet, bound, now)
@@ -190,6 +212,8 @@ class GatewayWorker:
                 packet, bound, allow_raise=self.mode == WorkerMode.NORMAL
             ):
                 self.stats.mss_rewrites += 1
+            if self.spans is not None:
+                self.spans.sync(self._span_at, now, "mss")
             return self._emit([packet], bound, data=False)
 
         # Mice bypass the merge machinery via the NIC hairpin — but only
@@ -206,6 +230,8 @@ class GatewayWorker:
             account.cycles += cycles
             breakdown["hairpin"] = breakdown.get("hairpin", 0.0) + cycles
             self.stats.hairpinned += 1
+            if self.spans is not None:
+                self.spans.sync(self._span_at, now, "hairpin")
             return self._emit([packet], bound, data=self._is_data(packet))
 
         cycles = costs.rx_descriptor
@@ -233,9 +259,11 @@ class GatewayWorker:
         if proto == IPProto.UDP:
             if bound == Bound.INBOUND:
                 return self._udp_inbound(packet, now)
-            return self._udp_outbound(packet)
+            return self._udp_outbound(packet, now)
 
         # ICMP and anything else is forwarded untouched.
+        if self.spans is not None:
+            self.spans.sync(self._span_at, now, "forward")
         return self._emit([packet], bound, data=False)
 
     # ------------------------------------------------------------------
@@ -251,6 +279,8 @@ class GatewayWorker:
                 packet, bound, allow_raise=False
             ):
                 self.stats.mss_rewrites += 1
+            if self.spans is not None:
+                self.spans.sync(self._span_at, now, "mss")
             return self._emit([packet], bound, data=False)
         if packet.is_tcp:
             self.stats.tcp_payload_in += len(packet.payload)
@@ -260,13 +290,19 @@ class GatewayWorker:
             else:
                 segments = [packet]
             self.stats.tcp_payload_out += sum(len(seg.payload) for seg in segments)
+            if self.spans is not None:
+                self._span_split(segments, now)
             return self._emit(segments, bound, data=True)
         if packet.is_udp:
             self.stats.udp_datagrams_in += caravan_inner_count(packet)
             if bound == Bound.OUTBOUND and is_caravan(packet):
-                return self._open_caravan(packet)
+                return self._open_caravan(packet, now)
             self.stats.udp_datagrams_out += caravan_inner_count(packet)
+            if self.spans is not None:
+                self.spans.sync(self._span_at, now, "forward")
             return self._emit([packet], bound, data=True)
+        if self.spans is not None:
+            self.spans.sync(self._span_at, now, "forward")
         return self._emit([packet], bound, data=False)
 
     def _path_limit(self, packet: Packet, now: float):
@@ -287,6 +323,8 @@ class GatewayWorker:
             # DEGRADED: stateful merging is off; pass through at eMTU.
             stats.passthrough_packets += 1
             stats.tcp_payload_out += len(packet.payload)
+            if self.spans is not None:
+                self.spans.sync(self._span_at, now, "passthrough")
             return self._emit([packet], Bound.INBOUND, data=True)
         if self.config.baseline_gro:
             cycles = costs.baseline_gro_per_packet
@@ -297,6 +335,8 @@ class GatewayWorker:
             account.cycles += cycles
             breakdown["merge"] = breakdown.get("merge", 0.0) + cycles
         outputs = self.merge.feed(packet, now)
+        if self.spans is not None:
+            self._span_tcp_merge(packet, outputs, now)
         if outputs:
             flush_cycles = costs.merge_flush
             for out in outputs:
@@ -331,6 +371,8 @@ class GatewayWorker:
                 now, "split",
                 worker=self.index, segments=len(segments), bytes=packet.total_len,
             )
+        if self.spans is not None:
+            self._span_split(segments, now)
         return self._emit(segments, Bound.OUTBOUND, data=True)
 
     def _udp_inbound(self, packet: Packet, now: float) -> List[Packet]:
@@ -348,6 +390,8 @@ class GatewayWorker:
             if self.config.caravan and self.mode != WorkerMode.NORMAL:
                 self.stats.passthrough_packets += 1
             self.stats.udp_datagrams_out += caravan_inner_count(packet)
+            if self.spans is not None:
+                self.spans.sync(self._span_at, now, "passthrough")
             return self._emit([packet], Bound.INBOUND, data=True)
         account = self.account
         breakdown = account.breakdown
@@ -355,6 +399,8 @@ class GatewayWorker:
         account.cycles += cycles
         breakdown["caravan"] = breakdown.get("caravan", 0.0) + cycles
         outputs = self.caravan_merge.feed(packet, now)
+        if self.spans is not None:
+            self._span_caravan_merge(packet, outputs, now)
         if outputs:
             flush_cycles = costs.caravan_flush
             for out in outputs:
@@ -371,14 +417,16 @@ class GatewayWorker:
                         )
         return self._emit(outputs, Bound.INBOUND, data=True)
 
-    def _udp_outbound(self, packet: Packet) -> List[Packet]:
+    def _udp_outbound(self, packet: Packet, now: float) -> List[Packet]:
         self.stats.udp_datagrams_in += caravan_inner_count(packet)
         if is_caravan(packet):
-            return self._open_caravan(packet)
+            return self._open_caravan(packet, now)
         self.stats.udp_datagrams_out += 1
+        if self.spans is not None:
+            self.spans.sync(self._span_at, now, "forward")
         return self._emit([packet], Bound.OUTBOUND, data=True)
 
-    def _open_caravan(self, packet: Packet) -> List[Packet]:
+    def _open_caravan(self, packet: Packet, now: float) -> List[Packet]:
         costs = self.costs
         try:
             datagrams = self.caravan_split.process(packet)
@@ -387,17 +435,22 @@ class GatewayWorker:
             # be opened; discard it rather than emit garbage.
             self.stats.malformed_caravans += 1
             self.stats.udp_datagrams_malformed += caravan_inner_count(packet)
+            if self.spans is not None:
+                self.spans.sync_drop(self._span_at, now, "malformed-caravan")
             return []
         self.stats.caravans_opened += 1
         if self.tracer is not None:
             self.tracer.record(
-                self._trace_now, "caravan-opened",
+                now, "caravan-opened",
                 worker=self.index, inner=len(datagrams),
             )
         self.account.charge(
             costs.caravan_split_per_datagram * len(datagrams), category="caravan"
         )
         self.stats.udp_datagrams_out += len(datagrams)
+        if self.spans is not None:
+            sid = self.spans.sync(self._span_at, now, "caravan-open")
+            self.spans.derived((sid,), "datagram", now, count=len(datagrams))
         return self._emit(datagrams, Bound.OUTBOUND, data=True)
 
     # ------------------------------------------------------------------
@@ -420,19 +473,104 @@ class GatewayWorker:
                 self.tracer.record(
                     now, "flush", worker=self.index, packets=len(flushed)
                 )
-        return self._emit(self._account_flush(flushed), Bound.INBOUND, data=True)
+        return self._emit(self._account_flush(flushed, now), Bound.INBOUND, data=True)
 
-    def _account_flush(self, flushed: List[Packet]) -> List[Packet]:
+    def _account_flush(self, flushed: List[Packet], now: float) -> List[Packet]:
         """Charge and count packets flushed out of the merge engines."""
+        spans = self.spans
         for out in flushed:
             self.account.charge(self.costs.merge_flush, category="merge")
             if out.is_tcp:
                 self.stats.tcp_payload_out += len(out.payload)
+                if spans is not None:
+                    spans.derived(
+                        spans.merge_consume(out.flow_key(), len(out.payload), now),
+                        "merged", now,
+                    )
             elif out.is_udp:
                 self.stats.udp_datagrams_out += caravan_inner_count(out)
+                if spans is not None:
+                    self._span_caravan_out(out, now)
             if is_caravan(out):
                 self.stats.caravans_built += 1
         return flushed
+
+    # ------------------------------------------------------------------
+    # Span bookkeeping (repro.obs.spans) — every caller guards on
+    # ``self.spans``, so the unattached datapath pays nothing.
+    # ------------------------------------------------------------------
+    def _span_split(self, segments: List[Packet], now: float) -> None:
+        """Settle a split (1→N): close the ingress, emit N children."""
+        spans = self.spans
+        if len(segments) > 1:
+            sid = spans.sync(self._span_at, now, "split")
+            spans.derived((sid,), "split-segment", now, count=len(segments))
+        else:
+            spans.sync(self._span_at, now, "forward")
+
+    def _span_tcp_merge(self, packet: Packet, outputs: List[Packet], now: float) -> None:
+        """Mirror one ``merge.feed`` call onto the span byte-FIFO.
+
+        ``out is packet`` in the outputs ⟺ the packet passed through
+        without being buffered (non-mergeable, flag-bearing, or empty);
+        otherwise its payload entered the per-flow FIFO.  Enqueue before
+        consume: spliced outputs drain old bytes head-first by exact
+        count, so a flush-then-restart of the same flow stays balanced.
+        """
+        spans = self.spans
+        entered = True
+        for out in outputs:
+            if out is packet:
+                entered = False
+                break
+        if entered:
+            spans.merge_enqueue(
+                packet.flow_key(), spans.open(self._span_at),
+                len(packet.payload), now,
+            )
+        for out in outputs:
+            if out is packet:
+                spans.sync(self._span_at, now, "passthrough")
+            else:
+                spans.derived(
+                    spans.merge_consume(out.flow_key(), len(out.payload), now),
+                    "merged", now,
+                )
+
+    def _span_caravan_merge(self, packet: Packet, outputs: List[Packet], now: float) -> None:
+        """Mirror one ``caravan_merge.feed`` call onto the datagram FIFO.
+
+        Same identity contract as the TCP path; a single-datagram flush
+        materializes as the *original* buffered packet object, never the
+        current one, so the ``out is packet`` test stays sound.
+        """
+        spans = self.spans
+        entered = True
+        for out in outputs:
+            if out is packet:
+                entered = False
+                break
+        if entered:
+            spans.caravan_enqueue(packet.flow_key(), spans.open(self._span_at), now)
+        for out in outputs:
+            if out is packet:
+                spans.sync(self._span_at, now, "passthrough")
+            else:
+                self._span_caravan_out(out, now)
+
+    def _span_caravan_out(self, out: Packet, now: float) -> None:
+        """Settle the FIFO spans a materialized caravan/flush carries."""
+        spans = self.spans
+        bundled = is_caravan(out)
+        parents = spans.caravan_consume(
+            out.flow_key(), caravan_inner_count(out), now,
+            outcome="bundled" if bundled else "flushed",
+        )
+        first_at = out.meta.get("caravan_first_at")
+        if first_at is not None:
+            spans.observe(CARAVAN_BATCH_WAIT_SECONDS, now - first_at)
+        if bundled:
+            spans.derived(parents, "caravan", now)
 
     def _is_data(self, packet: Packet) -> bool:
         if packet.is_tcp:

@@ -16,18 +16,28 @@ Design rules:
 * **Sim time only** — nothing in an export ever reads a wall clock, so
   two same-seed runs are byte-identical (the determinism guard diffs
   ``to_prometheus_text()`` directly).
-* **Tracing is opt-in** — :class:`FlowTracer` hooks are guarded with
-  ``if tracer is not None`` everywhere; chaos worlds run metrics-only.
+* **Tracing is opt-in** — :class:`FlowTracer` and :class:`SpanTracker`
+  hooks are guarded with ``is not None`` everywhere; unattached
+  datapaths pay nothing.
+* **Latency lives in sim time** — :class:`SpanTracker` spans open at
+  gateway ingress and close at egress/drop with parent/child causality
+  across merge, split, and caravan stages; :class:`TelemetryTimeline`
+  scrapes the registry periodically *inside* the simulation; and
+  :class:`AlertEngine` turns scrapes into PENDING→FIRING→RESOLVED
+  transitions stamped in sim time.  All three export byte-identically
+  across same-seed runs.
 
 See ``docs/OBSERVABILITY.md`` for the metric catalog and CLI examples.
 """
 
+from .alerts import AlertEngine, AlertRule, default_alert_rules
 from .collectors import (
     Observability,
     observe_failover,
     observe_gateway,
     observe_nic,
     observe_pmtud,
+    observe_spans,
     observe_upf,
     record_bench_report,
 )
@@ -39,23 +49,34 @@ from .registry import (
     MetricsRegistry,
     default_registry,
 )
+from .spans import LATENCY_BUCKETS, LATENCY_METRICS, Span, SpanTracker
+from .timeline import TelemetryTimeline
 from .tracer import FlowTracer
 from .world import ObservedWorld, run_observed_world
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "Counter",
     "FlowTracer",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
+    "LATENCY_METRICS",
     "LOG2_BUCKETS",
     "MetricsRegistry",
     "Observability",
     "ObservedWorld",
+    "Span",
+    "SpanTracker",
+    "TelemetryTimeline",
+    "default_alert_rules",
     "default_registry",
     "observe_failover",
     "observe_gateway",
     "observe_nic",
     "observe_pmtud",
+    "observe_spans",
     "observe_upf",
     "record_bench_report",
     "run_observed_world",

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from .registry import MetricsRegistry
+from .spans import LATENCY_BUCKETS, LATENCY_METRICS, SpanTracker
 from .tracer import FlowTracer
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "observe_gateway",
     "observe_failover",
     "observe_nic",
+    "observe_spans",
     "observe_upf",
     "observe_pmtud",
     "record_bench_report",
@@ -35,25 +37,72 @@ __all__ = [
 
 
 class Observability:
-    """A registry plus an (optional) tracer, handed to instrumented code.
+    """A registry plus optional tracer and span tracker.
 
-    The tracer may be ``None`` for metrics-only attachment (the chaos
-    worlds do this): every trace call sites guard on it, so a
-    metrics-only bundle adds zero work to the datapath.
+    The tracer and span tracker may be ``None`` for metrics-only
+    attachment (the default; chaos worlds add spans explicitly): every
+    trace and span call site guards on the attribute, so a metrics-only
+    bundle adds zero work to the datapath.  When a span tracker is
+    supplied, its latency histograms and balance counters are published
+    on the registry via :func:`observe_spans` automatically.
     """
 
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[FlowTracer] = None,
+        spans: Optional[SpanTracker] = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
+        self.spans = spans
+        if spans is not None:
+            observe_spans(self, spans)
 
     def trace(self, time: float, kind: str, **fields: object) -> None:
         """Record a trace event if a tracer is attached (else no-op)."""
         if self.tracer is not None:
             self.tracer.record(time, kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# Span tracker (lifecycle latency)
+# ----------------------------------------------------------------------
+def observe_spans(obs: Observability, tracker: SpanTracker) -> None:
+    """Publish a span tracker's balance counters and latency histograms.
+
+    The four latency histograms use the sub-second ``LATENCY_BUCKETS``
+    ladder (not the byte-oriented ``LOG2_BUCKETS`` default) and are
+    mirrored idempotently from the tracker's exact value->count maps
+    via :meth:`Histogram.load`, keeping scrapes byte-deterministic.
+    """
+
+    def collect(registry: MetricsRegistry) -> None:
+        registry.counter(
+            "px_spans_opened_total", "Spans opened at gateway ingress"
+        ).set_total(tracker.opened)
+        registry.counter(
+            "px_spans_closed_total", "Spans closed at egress"
+        ).set_total(tracker.closed)
+        registry.counter(
+            "px_spans_dropped_total", "Spans closed as dropped"
+        ).set_total(tracker.dropped)
+        registry.counter(
+            "px_spans_anomalies_total", "Span accounting impossibilities"
+        ).set_total(tracker.anomalies)
+        registry.counter(
+            "px_spans_shed_total", "Finished spans evicted from the ring"
+        ).set_total(tracker.shed)
+        registry.gauge(
+            "px_spans_open", "Spans currently open (in flight or buffered)"
+        ).set(tracker.open_count())
+        for metric in LATENCY_METRICS:
+            registry.histogram(
+                metric, "Sim-time latency distribution",
+                bounds=LATENCY_BUCKETS,
+            ).load(tracker.latency_values(metric))
+
+    obs.registry.register_collector(collect)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,469 @@
+"""Packet lifecycle spans: sim-time latency tracking for the PX datapath.
+
+PR 4's registry answers "how many"; this module answers "how long".  A
+:class:`SpanTracker` opens a span when a packet enters the gateway and
+closes it when the packet (or its merged/split/bundled descendant)
+leaves — the difference, in **sim time**, is the gateway residency the
+paper's delayed-merging trade-off hinges on (PAPER.md §PXGW: merge
+timeout vs. throughput).
+
+Causality across the three shape-changing stages:
+
+* **merge (N→1)** — each mergeable TCP ingress opens a span and
+  enqueues ``(span, payload_bytes)`` on a per-flow byte FIFO mirroring
+  ``TcpMergeEngine``'s buffers.  A spliced egress consumes its payload
+  length head-first from the same FIFO; every parent whose bytes it
+  carries closes (outcome ``merged``) and a finished child span of
+  kind ``merged`` records the fan-in.
+* **split (1→N)** — the ingress closes immediately (stage ``split``)
+  and N finished ``split-segment`` children point back at it.
+* **caravan (N→1→N)** — bundleable datagrams enqueue on a per-flow
+  datagram FIFO; a materialized caravan consumes ``caravan_inner_count``
+  entries (outcome ``bundled``) and records the batch wait from the
+  first datagram's enqueue time.  The receive side closes the caravan
+  span at ``caravan-open`` with N ``datagram`` children.
+
+The tracker is deliberately dumb: the datapath tells it what happened
+and it does arithmetic.  It never touches the simulator, RNGs, packet
+bytes, or scheduling, which is why attaching it cannot perturb chaos
+digests (the perturbation guard in ``tests/obs`` proves it).
+
+The **span-balance identity** — ``opened == closed + dropped + open``
+— is the conservation law the chaos oracle asserts over all 56 corpus
+scenarios, alongside a byte/datagram reconciliation of the FIFOs
+against the live merge engines.  ``anomalies`` counts every
+impossibility (closing an unknown span, consuming bytes that were
+never enqueued) and must stay zero.
+
+Latency observations are kept as exact ``value -> count`` maps and
+mirrored onto fixed-bucket registry histograms at scrape time via
+:meth:`Histogram.load`, so exports stay byte-deterministic and the
+per-packet cost is one dict update.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "GATEWAY_RESIDENCY_SECONDS",
+    "MERGE_WAIT_SECONDS",
+    "CARAVAN_BATCH_WAIT_SECONDS",
+    "PROBE_RTT_SECONDS",
+    "LATENCY_METRICS",
+    "Span",
+    "SpanTracker",
+]
+
+#: Fixed sub-second bucket ladder for sim-time latencies.  ``LOG2_BUCKETS``
+#: in :mod:`repro.obs.registry` are integer *byte* bounds; latencies need
+#: a 1-2-5 ladder from 10 µs to 5 s (the merge timeout is 1 ms, link
+#: delays are 1-10 ms, PLPMTUD searches take 100s of ms).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2,
+    0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0,
+)
+
+GATEWAY_RESIDENCY_SECONDS = "px_gateway_residency_seconds"
+MERGE_WAIT_SECONDS = "px_merge_wait_seconds"
+CARAVAN_BATCH_WAIT_SECONDS = "px_caravan_batch_wait_seconds"
+PROBE_RTT_SECONDS = "px_fpmtud_probe_rtt_seconds"
+
+#: Every latency histogram the tracker feeds, in export order.
+LATENCY_METRICS: Tuple[str, ...] = (
+    CARAVAN_BATCH_WAIT_SECONDS,
+    PROBE_RTT_SECONDS,
+    GATEWAY_RESIDENCY_SECONDS,
+    MERGE_WAIT_SECONDS,
+)
+
+
+class Span:
+    """One packet's traversal of the gateway, in sim time.
+
+    ``parents`` is a tuple of span ids: empty for an ingress span,
+    the contributing ingress spans for a ``merged``/``caravan`` child,
+    the split ingress for a ``split-segment``.
+    """
+
+    __slots__ = ("sid", "kind", "opened_at", "closed_at", "outcome", "parents", "stage")
+
+    def __init__(self, sid, kind, opened_at, closed_at, outcome, parents, stage):
+        self.sid = sid
+        self.kind = kind
+        self.opened_at = opened_at
+        self.closed_at = closed_at
+        self.outcome = outcome
+        self.parents = parents
+        self.stage = stage
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Sim seconds between open and close; ``None`` while open."""
+        if self.closed_at is None:
+            return None
+        return self.closed_at - self.opened_at
+
+    def to_dict(self) -> dict:
+        """A JSON-ready, deterministic representation."""
+        return {
+            "sid": self.sid,
+            "kind": self.kind,
+            "opened_at": self.opened_at,
+            "closed_at": self.closed_at,
+            "outcome": self.outcome,
+            "stage": self.stage,
+            "parents": list(self.parents),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.outcome if self.closed_at is not None else "open"
+        return f"<Span #{self.sid} {self.kind}/{self.stage or '-'} {state}>"
+
+
+class SpanTracker:
+    """Opens, closes, and reconciles packet lifecycle spans.
+
+    Span ids are sequential, so two same-seed runs produce byte-identical
+    exports.  Finished spans land in a bounded ring (``capacity``); the
+    counters and latency maps are exact regardless of shedding.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        #: Balance counters — ``opened == closed + dropped + len(open)``.
+        self.opened = 0
+        self.closed = 0
+        self.dropped = 0
+        #: Impossibilities observed (unknown sid, FIFO under-run).  The
+        #: chaos oracle requires this to stay zero.
+        self.anomalies = 0
+        self._next_sid = 0
+        self._open: Dict[int, Span] = {}
+        self._done: Deque[Span] = deque(maxlen=capacity)
+        # Per-flow FIFOs mirroring the merge engines' buffers.
+        # merge: flow -> deque of [sid, bytes_left, enqueued_at]
+        # caravan: flow -> deque of (sid, enqueued_at)
+        self._merge_fifo: Dict[object, Deque[list]] = {}
+        self._caravan_fifo: Dict[object, Deque[tuple]] = {}
+        self._fifo_bytes = 0
+        self._fifo_datagrams = 0
+        #: Exact latency observations per metric: value -> count.
+        self._latency: Dict[str, Dict[float, int]] = {
+            name: {} for name in LATENCY_METRICS
+        }
+
+    # ------------------------------------------------------------------
+    # Core open/close API
+    # ------------------------------------------------------------------
+    def open(self, opened_at: float, kind: str = "packet",
+             parents: Tuple[int, ...] = (), stage: Optional[str] = None) -> int:
+        """Open a span; returns its id for a later close/drop."""
+        sid = self._next_sid
+        self._next_sid = sid + 1
+        self.opened += 1
+        self._open[sid] = Span(sid, kind, opened_at, None, None, parents, stage)
+        return sid
+
+    def close(self, sid: int, closed_at: float, outcome: str = "egress") -> None:
+        """Close an open span with a terminal outcome."""
+        span = self._open.pop(sid, None)
+        if span is None:
+            self.anomalies += 1
+            return
+        span.closed_at = closed_at
+        span.outcome = outcome
+        self.closed += 1
+        self._done.append(span)
+
+    def drop(self, sid: int, at: float, reason: str) -> None:
+        """Close an open span as dropped (counts in ``dropped``)."""
+        span = self._open.pop(sid, None)
+        if span is None:
+            self.anomalies += 1
+            return
+        span.closed_at = at
+        span.outcome = reason
+        self.dropped += 1
+        self._done.append(span)
+
+    def sync(self, opened_at: float, closed_at: float, stage: str,
+             kind: str = "packet") -> int:
+        """Fast path: a packet that entered and left in one call.
+
+        Creates the span already finished (no open-dict round trip — this
+        runs once per non-merging packet on the datapath) and records its
+        gateway residency.
+        """
+        sid = self._next_sid
+        self._next_sid = sid + 1
+        self.opened += 1
+        self.closed += 1
+        self._done.append(Span(sid, kind, opened_at, closed_at, "egress", (), stage))
+        bucket = self._latency[GATEWAY_RESIDENCY_SECONDS]
+        delta = closed_at - opened_at
+        bucket[delta] = bucket.get(delta, 0) + 1
+        return sid
+
+    def sync_drop(self, opened_at: float, at: float, reason: str) -> int:
+        """Fast path: a packet dropped in the same call it arrived in."""
+        sid = self._next_sid
+        self._next_sid = sid + 1
+        self.opened += 1
+        self.dropped += 1
+        self._done.append(Span(sid, "packet", opened_at, at, reason, (), "drop"))
+        return sid
+
+    def derived(self, parents: Tuple[int, ...], kind: str, at: float,
+                count: int = 1) -> None:
+        """Record *count* finished child spans produced at *at*.
+
+        Children are born closed: a merged segment / caravan / split
+        segment exists only at the instant the engine emits it, so the
+        interesting latency lives on the parents, not here.
+        """
+        for _ in range(count):
+            sid = self._next_sid
+            self._next_sid = sid + 1
+            self.opened += 1
+            self.closed += 1
+            self._done.append(Span(sid, kind, at, at, "egress", parents, None))
+
+    # ------------------------------------------------------------------
+    # Merge (byte) FIFO — mirrors TcpMergeEngine buffers
+    # ------------------------------------------------------------------
+    def merge_enqueue(self, flow, sid: int, nbytes: int, at: float) -> None:
+        """A span's payload entered the merge buffer for *flow*."""
+        fifo = self._merge_fifo.get(flow)
+        if fifo is None:
+            fifo = self._merge_fifo[flow] = deque()
+        fifo.append([sid, nbytes, at])
+        self._fifo_bytes += nbytes
+
+    def merge_consume(self, flow, nbytes: int, at: float) -> Tuple[int, ...]:
+        """A spliced segment of *nbytes* left the buffer for *flow*.
+
+        Consumes head-first (the engines ship bytes FIFO per flow) and
+        returns the parent span ids whose bytes the segment carries.
+        Fully drained parents close with outcome ``merged`` and record
+        both their merge wait and their gateway residency.
+        """
+        fifo = self._merge_fifo.get(flow)
+        parents: List[int] = []
+        while nbytes > 0:
+            if not fifo:
+                self.anomalies += 1
+                break
+            head = fifo[0]
+            take = head[1] if head[1] <= nbytes else nbytes
+            head[1] -= take
+            nbytes -= take
+            self._fifo_bytes -= take
+            parents.append(head[0])
+            if head[1] == 0:
+                fifo.popleft()
+                span = self._open.pop(head[0], None)
+                if span is None:
+                    self.anomalies += 1
+                else:
+                    span.closed_at = at
+                    span.outcome = "merged"
+                    self.closed += 1
+                    self._done.append(span)
+                    wait = self._latency[MERGE_WAIT_SECONDS]
+                    delta = at - head[2]
+                    wait[delta] = wait.get(delta, 0) + 1
+                    res = self._latency[GATEWAY_RESIDENCY_SECONDS]
+                    delta = at - span.opened_at
+                    res[delta] = res.get(delta, 0) + 1
+        if fifo is not None and not fifo:
+            del self._merge_fifo[flow]
+        return tuple(parents)
+
+    # ------------------------------------------------------------------
+    # Caravan (datagram) FIFO — mirrors CaravanMergeEngine contexts
+    # ------------------------------------------------------------------
+    def caravan_enqueue(self, flow, sid: int, at: float) -> None:
+        """A datagram's span entered the caravan context for *flow*."""
+        fifo = self._caravan_fifo.get(flow)
+        if fifo is None:
+            fifo = self._caravan_fifo[flow] = deque()
+        fifo.append((sid, at))
+        self._fifo_datagrams += 1
+
+    def caravan_consume(self, flow, count: int, at: float,
+                        outcome: str = "bundled") -> Tuple[int, ...]:
+        """*count* buffered datagrams left the context for *flow*."""
+        fifo = self._caravan_fifo.get(flow)
+        parents: List[int] = []
+        for _ in range(count):
+            if not fifo:
+                self.anomalies += 1
+                break
+            sid, _enqueued_at = fifo.popleft()
+            self._fifo_datagrams -= 1
+            parents.append(sid)
+            span = self._open.pop(sid, None)
+            if span is None:
+                self.anomalies += 1
+            else:
+                span.closed_at = at
+                span.outcome = outcome
+                self.closed += 1
+                self._done.append(span)
+                res = self._latency[GATEWAY_RESIDENCY_SECONDS]
+                delta = at - span.opened_at
+                res[delta] = res.get(delta, 0) + 1
+        if fifo is not None and not fifo:
+            del self._caravan_fifo[flow]
+        return tuple(parents)
+
+    def flush_fifos(self, at: float, outcome: str = "failover") -> int:
+        """Close every FIFO-resident span (worker retired mid-merge).
+
+        On failover the old worker's pending bytes are re-emitted from
+        the checkpoint through :meth:`PXGateway.forward`, bypassing the
+        worker — so their ingress spans must be settled here.  Returns
+        the number of spans closed.
+        """
+        settled = 0
+        for fifo in self._merge_fifo.values():
+            for sid, _bytes_left, _at in fifo:
+                self.close(sid, at, outcome)
+                settled += 1
+        for fifo in self._caravan_fifo.values():
+            for sid, _at in fifo:
+                self.close(sid, at, outcome)
+                settled += 1
+        self._merge_fifo.clear()
+        self._caravan_fifo.clear()
+        self._fifo_bytes = 0
+        self._fifo_datagrams = 0
+        return settled
+
+    # ------------------------------------------------------------------
+    # Latency observations
+    # ------------------------------------------------------------------
+    def observe(self, metric: str, value: float) -> None:
+        """Record one latency observation for a known metric."""
+        bucket = self._latency[metric]
+        bucket[value] = bucket.get(value, 0) + 1
+
+    def latency_values(self, metric: str) -> Dict[float, int]:
+        """A copy of the exact ``value -> count`` map for *metric*."""
+        return dict(self._latency[metric])
+
+    def latency_count(self, metric: str) -> int:
+        """Total observations recorded for *metric*."""
+        return sum(self._latency[metric].values())
+
+    def latency_median(self, metric: str) -> Optional[float]:
+        """Median of the raw observations (lower of the two middles)."""
+        values = self._latency[metric]
+        total = sum(values.values())
+        if total == 0:
+            return None
+        midpoint = (total - 1) // 2
+        seen = 0
+        for value in sorted(values):
+            seen += values[value]
+            if seen > midpoint:
+                return value
+        return None  # pragma: no cover - unreachable
+
+    # ------------------------------------------------------------------
+    # Reconciliation and export
+    # ------------------------------------------------------------------
+    def open_count(self) -> int:
+        """Spans currently open (in flight or buffered in an engine)."""
+        return len(self._open)
+
+    def pending_merge_bytes(self) -> int:
+        """Bytes the FIFOs believe the TCP merge engine is holding."""
+        return self._fifo_bytes
+
+    def pending_caravan_datagrams(self) -> int:
+        """Datagrams the FIFOs believe the caravan engine is holding."""
+        return self._fifo_datagrams
+
+    @property
+    def shed(self) -> int:
+        """Finished spans evicted from the bounded ring."""
+        return self.closed + self.dropped - len(self._done)
+
+    def balance(self) -> dict:
+        """The conservation-law view the chaos oracle asserts."""
+        return {
+            "opened": self.opened,
+            "closed": self.closed,
+            "dropped": self.dropped,
+            "open": len(self._open),
+        }
+
+    @property
+    def balanced(self) -> bool:
+        """Whether the span-balance identity holds right now."""
+        return self.opened == self.closed + self.dropped + len(self._open)
+
+    def finished(self, kind: Optional[str] = None) -> List[Span]:
+        """Retained finished spans, optionally filtered by kind."""
+        if kind is None:
+            return list(self._done)
+        return [span for span in self._done if span.kind == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        """Retained finished-span counts per kind, sorted by name."""
+        counts: Dict[str, int] = {}
+        for span in self._done:
+            counts[span.kind] = counts.get(span.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def stages(self) -> Dict[str, int]:
+        """Retained finished-span counts per stage label."""
+        counts: Dict[str, int] = {}
+        for span in self._done:
+            if span.stage is not None:
+                counts[span.stage] = counts.get(span.stage, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json(self, limit: Optional[int] = None, indent: Optional[int] = None) -> str:
+        """Byte-deterministic JSON export (balance, latency, spans)."""
+        spans: Iterable[Span] = self._done
+        if limit is not None:
+            spans = list(self._done)[-limit:]
+        payload = {
+            "balance": self.balance(),
+            "anomalies": self.anomalies,
+            "shed": self.shed,
+            "kinds": self.kinds(),
+            "stages": self.stages(),
+            "latency": {
+                name: {
+                    "count": sum(values.values()),
+                    "sum": sum(v * n for v, n in sorted(values.items())),
+                }
+                for name, values in sorted(self._latency.items())
+            },
+            "spans": [span.to_dict() for span in spans],
+        }
+        return json.dumps(payload, sort_keys=True, indent=indent,
+                          separators=(",", ":") if indent is None else None)
+
+    def to_jsonl(self, limit: Optional[int] = None) -> str:
+        """One finished span per line — greppable, streamable."""
+        spans: Iterable[Span] = self._done
+        if limit is not None:
+            spans = list(self._done)[-limit:]
+        return "\n".join(
+            json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+            for span in spans
+        )

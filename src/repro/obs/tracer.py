@@ -22,6 +22,17 @@ from typing import Dict, List, Optional
 __all__ = ["FlowTracer"]
 
 
+def _hashable(value):
+    """Recursively convert lists/tuples/dicts to hashable tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted(
+            (key, _hashable(item)) for key, item in value.items()
+        ))
+    return value
+
+
 class FlowTracer:
     """A bounded ring buffer of structured trace events."""
 
@@ -73,9 +84,18 @@ class FlowTracer:
         """A hashable, order-preserving fingerprint of retained events.
 
         Two same-seed runs must produce equal sequences — the
-        determinism guard compares these directly.
+        determinism guard compares these directly.  List- and
+        dict-valued fields are normalized to (nested) tuples, so every
+        entry really is hashable — callers can ``set()`` or dict-key
+        them.
         """
-        return [tuple(sorted(event.items(), key=lambda kv: kv[0])) for event in self._events]
+        return [
+            tuple(sorted(
+                ((key, _hashable(value)) for key, value in event.items()),
+                key=lambda kv: kv[0],
+            ))
+            for event in self._events
+        ]
 
     def clear(self) -> None:
         """Drop every retained event (the recorded total is kept)."""

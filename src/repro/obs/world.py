@@ -65,6 +65,10 @@ class ObservedWorld:
     rss: object
     queues: List[object]
     hairpin: object
+    #: In-sim periodic scraper (repro.obs.TelemetryTimeline), stopped.
+    timeline: object = None
+    #: The timeline's AlertEngine with its recorded transitions.
+    alerts: object = None
     notes: Dict[str, object] = field(default_factory=dict)
 
 
@@ -152,17 +156,33 @@ def run_observed_world(
     until: float = 3.0,
     tracer_capacity: int = 8192,
     registry=None,
+    scrape_interval: float = 0.05,
 ) -> ObservedWorld:
-    """Build and run the observed world for *seed*; returns it populated."""
+    """Build and run the observed world for *seed*; returns it populated.
+
+    Beyond PR 4's metrics + tracer, the world now carries the full
+    latency-aware stack: a :class:`SpanTracker` wired through the
+    gateway/worker/prober, a :class:`TelemetryTimeline` scraping the
+    registry every ``scrape_interval`` sim-seconds, and an
+    :class:`AlertEngine` running :func:`default_alert_rules` at each
+    scrape.  All exports are byte-identical across same-seed runs.
+    """
     from ..core import GatewayConfig, PXGateway
     from ..net import Topology
     from ..nic import HairpinQueue, RssDistributor, RxQueue
     from ..pmtud import FPmtudDaemon, FPmtudProber
     from ..resilience import FailoverManager
     from ..tcpstack import TCPConnection, TCPListener
+    from .alerts import AlertEngine, default_alert_rules
+    from .spans import SpanTracker
+    from .timeline import TelemetryTimeline
 
     rng = random.Random(f"obs-world:{seed}")
-    obs = Observability(registry=registry, tracer=FlowTracer(tracer_capacity))
+    obs = Observability(
+        registry=registry,
+        tracer=FlowTracer(tracer_capacity),
+        spans=SpanTracker(),
+    )
 
     topo = Topology(seed=880_000 + seed)
     inside = topo.add_host("inside")
@@ -180,6 +200,13 @@ def run_observed_world(
     gateway.mark_internal(gw_iface)
     gateway.enable_resilience()
     gateway.attach_observability(obs)
+
+    # The in-sim scraper + SLO alerting, started before any traffic so
+    # the first window sees the ramp-up.
+    alerts = AlertEngine(default_alert_rules(gateway="pxgw"))
+    timeline = TelemetryTimeline(
+        topo.sim, obs.registry, interval=scrape_interval, alerts=alerts
+    ).start()
 
     # Failover: periodic checkpoints plus one mid-run takeover, so the
     # standby worker (and the re-armed flush timer) carry the tail of
@@ -228,6 +255,7 @@ def run_observed_world(
     daemon = FPmtudDaemon(outside)
     prober = FPmtudProber(inside, src_port=_PROBER_PORT)
     prober.tracer = obs.tracer
+    prober.spans = obs.spans
     observe_pmtud(obs, prober=prober, daemon=daemon)
     pmtud_results: list = []
     topo.sim.schedule_at(
@@ -239,6 +267,10 @@ def run_observed_world(
     down_listener.connections[0].send_bulk(download)
     up.send_bulk(upload)
     topo.run(until=until)
+
+    # Stop the scraper before the out-of-sim UPF exercise so the last
+    # recorded window reflects only in-sim activity.
+    timeline.stop()
 
     # Standalone UPF exercise (no topology needed).
     upf = _run_upf(rng)
@@ -258,6 +290,8 @@ def run_observed_world(
         rss=rss,
         queues=queues,
         hairpin=hairpin,
+        timeline=timeline,
+        alerts=alerts,
         notes={
             "downloaded": down.bytes_delivered,
             "uploaded": up_listener.connections[0].bytes_delivered

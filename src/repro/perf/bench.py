@@ -257,6 +257,53 @@ def _prepare_upf(quick: bool) -> Callable[[], int]:
     return run
 
 
+def _run_gateway_world(download: int, upload: int, observed: bool = False) -> int:
+    """One border-world pass; ``observed`` attaches per-packet spans.
+
+    The observed variant measures the *datapath* tracking cost (span
+    opens/closes and FIFO mirroring on every packet).  Timeline scrapes
+    are periodic control-plane work whose cost is interval-bound, not
+    packet-bound, so they stay out of this per-packet figure.
+    """
+    from ..core import GatewayConfig, PXGateway
+    from ..net import Topology
+    from ..tcpstack import TCPConnection, TCPListener
+
+    topo = Topology(seed=7)
+    inside = topo.add_host("inside")
+    outside = topo.add_host("outside")
+    gateway = PXGateway(topo.sim, "pxgw", config=GatewayConfig(imtu=9000, emtu=1500))
+    topo.add_node(gateway)
+    topo.link(inside, gateway, mtu=9000, delay=5e-5)
+    topo.link(gateway, outside, mtu=1500, delay=5e-5)
+    topo.build_routes()
+    gateway.mark_internal(gateway.interfaces[0])
+    spans = None
+    if observed:
+        from ..obs import Observability, SpanTracker
+
+        spans = SpanTracker()
+        gateway.attach_observability(Observability(spans=spans))
+
+    down_server = TCPListener(outside, 80, mss=1460)
+    up_server = TCPListener(inside, 81, mss=8960)
+    down = TCPConnection(inside, 40000, outside.ip, 80, mss=8960)
+    up = TCPConnection(outside, 40001, inside.ip, 81, mss=1460)
+    down.connect()
+    up.connect()
+    topo.run(until=0.2)
+    down_server.connections[0].send_bulk(download)
+    up_server.connections[0].send_bulk(upload)
+    topo.run(until=30.0)
+    if spans is not None:
+        assert spans.balanced and spans.anomalies == 0, "span balance broke"
+        assert spans.opened > 0, "observed gateway world tracked nothing"
+    stats = gateway.stats
+    assert down.bytes_delivered == download, "gateway world lost download bytes"
+    assert up.bytes_delivered == upload, "gateway world lost upload bytes"
+    return stats.rx_packets + stats.tx_packets
+
+
 @_bench("gateway_world")
 def _prepare_gateway_world(quick: bool) -> Callable[[], int]:
     """End-to-end: a PXGW border world moving bulk TCP both directions.
@@ -270,34 +317,24 @@ def _prepare_gateway_world(quick: bool) -> Callable[[], int]:
     upload = 150_000 if quick else 750_000
 
     def run() -> int:
-        from ..core import GatewayConfig, PXGateway
-        from ..net import Topology
-        from ..tcpstack import TCPConnection, TCPListener
+        return _run_gateway_world(download, upload)
 
-        topo = Topology(seed=7)
-        inside = topo.add_host("inside")
-        outside = topo.add_host("outside")
-        gateway = PXGateway(topo.sim, "pxgw", config=GatewayConfig(imtu=9000, emtu=1500))
-        topo.add_node(gateway)
-        topo.link(inside, gateway, mtu=9000, delay=5e-5)
-        topo.link(gateway, outside, mtu=1500, delay=5e-5)
-        topo.build_routes()
-        gateway.mark_internal(gateway.interfaces[0])
+    return run
 
-        down_server = TCPListener(outside, 80, mss=1460)
-        up_server = TCPListener(inside, 81, mss=8960)
-        down = TCPConnection(inside, 40000, outside.ip, 80, mss=8960)
-        up = TCPConnection(outside, 40001, inside.ip, 81, mss=1460)
-        down.connect()
-        up.connect()
-        topo.run(until=0.2)
-        down_server.connections[0].send_bulk(download)
-        up_server.connections[0].send_bulk(upload)
-        topo.run(until=30.0)
-        stats = gateway.stats
-        assert down.bytes_delivered == download, "gateway world lost download bytes"
-        assert up.bytes_delivered == upload, "gateway world lost upload bytes"
-        return stats.rx_packets + stats.tx_packets
+
+@_bench("gateway_world_observed")
+def _prepare_gateway_world_observed(quick: bool) -> Callable[[], int]:
+    """The same border world with the observability stack attached.
+
+    Spans track every packet and an in-sim timeline scrapes the
+    registry; the CI span-overhead guard compares this against the
+    plain ``gateway_world`` to keep the tracking cost within budget.
+    """
+    download = 300_000 if quick else 1_500_000
+    upload = 150_000 if quick else 750_000
+
+    def run() -> int:
+        return _run_gateway_world(download, upload, observed=True)
 
     return run
 

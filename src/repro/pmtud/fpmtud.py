@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.gateway import FPMTUD_PORT
 from ..net.host import Host
+from ..obs.spans import PROBE_RTT_SECONDS
 from ..packet import Packet
 
 __all__ = ["FPmtudDaemon", "FPmtudProber", "FPmtudResult", "FPMTUD_PORT"]
@@ -120,6 +121,10 @@ class FPmtudProber:
         #: Optional :class:`repro.obs.FlowTracer` recording the probe
         #: lifecycle (probe → report|timeout); guarded at call sites.
         self.tracer = None
+        #: Optional :class:`repro.obs.SpanTracker`: each probe opens a
+        #: ``probe`` span and the report closes it, feeding the
+        #: px_fpmtud_probe_rtt_seconds histogram (the one-RTT claim).
+        self.spans = None
         host.on_udp(src_port, self._on_report)
 
     def pending_probes(self) -> int:
@@ -150,6 +155,8 @@ class FPmtudProber:
             "on_result": on_result,
             "on_timeout": on_timeout,
             "timer": handle,
+            "span": (self.spans.open(sent_at, kind="probe")
+                     if self.spans is not None else None),
         }
         # DF clear: routers are *expected* to fragment the probe.
         self.host.send_udp(dst, self.src_port, self.daemon_port, payload,
@@ -174,6 +181,10 @@ class FPmtudProber:
         pmtu = max(sizes) if sizes else pending["probe_size"]
         self.reports_received += 1
         self.last_pmtu = pmtu
+        if self.spans is not None and pending["span"] is not None:
+            now = self.host.sim.now
+            self.spans.close(pending["span"], now, outcome="report")
+            self.spans.observe(PROBE_RTT_SECONDS, now - pending["sent_at"])
         if self.tracer is not None:
             self.tracer.record(
                 self.host.sim.now, "pmtud-report",
@@ -192,6 +203,8 @@ class FPmtudProber:
         if pending is None:
             return
         self.timeouts += 1
+        if self.spans is not None and pending["span"] is not None:
+            self.spans.drop(pending["span"], self.host.sim.now, "timeout")
         if self.tracer is not None:
             self.tracer.record(
                 self.host.sim.now, "pmtud-timeout", probe_id=probe_id

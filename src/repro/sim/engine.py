@@ -177,5 +177,12 @@ class Simulator:
         O(1): a live counter maintained at schedule/cancel/fire time
         replaces the old full-heap scan (cancelled entries stay in the
         heap until popped, so scanning was O(n) per call).
+
+        Invariant vs. :meth:`peek_time`: peeking lazily pops cancelled
+        entries off the *heap*, but never touches this counter — the
+        cancel that marked them already decremented it.  Any
+        interleaving of schedule / cancel / peek therefore keeps
+        ``pending()`` exact (the churn test in
+        ``tests/test_sim_engine.py`` drives this directly).
         """
         return self._live

@@ -1,4 +1,5 @@
-"""CLI coverage for `repro metrics` and `repro trace`."""
+"""CLI coverage for `repro metrics`, `repro trace`, and the PR 5 verbs
+(`repro spans` / `repro timeline` / `repro alerts`)."""
 
 import json
 
@@ -38,6 +39,78 @@ def test_trace_filtered_events_are_json_lines(capsys):
         event = json.loads(line)
         assert event["kind"] == "pmtud-report"
         assert event["pmtu"] == 1500
+
+
+def test_trace_jsonl_events_are_compact_lines(capsys):
+    assert main(["trace", "--kind", "pmtud-report", "--jsonl"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines
+    for line in lines:
+        assert ": " not in line and ", " not in line  # compact separators
+        assert json.loads(line)["kind"] == "pmtud-report"
+
+
+def test_trace_jsonl_summary_is_one_line(capsys):
+    assert main(["trace", "--summary", "--jsonl"]) == 0
+    out = capsys.readouterr().out.strip()
+    assert "\n" not in out
+    assert json.loads(out)["recorded"] > 0
+
+
+def test_spans_summary(capsys):
+    assert main(["spans", "--summary"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    balance = summary["balance"]
+    assert balance["opened"] == balance["closed"] + balance["dropped"]
+    assert summary["anomalies"] == 0
+    assert summary["kinds"]["merged"] > 0
+    assert summary["latency"]["px_gateway_residency_seconds"]["count"] > 0
+
+
+def test_spans_export_and_jsonl(tmp_path, capsys):
+    out_path = tmp_path / "spans.json"
+    assert main(["spans", "--out", str(out_path), "--limit", "10"]) == 0
+    assert "written to" in capsys.readouterr().out
+    doc = json.loads(out_path.read_text())
+    assert len(doc["spans"]) == 10
+    assert main(["spans", "--jsonl", "--limit", "3"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3
+    assert all("sid" in json.loads(line) for line in lines)
+
+
+def test_timeline_json_and_jsonl(tmp_path, capsys):
+    out_path = tmp_path / "timeline.json"
+    assert main(["timeline", "--out", str(out_path)]) == 0
+    note = capsys.readouterr().out
+    assert "ticks" in note and "written to" in note
+    doc = json.loads(out_path.read_text())
+    assert doc["ticks"] > 20
+    assert doc["samples"]
+    assert main(["timeline", "--format", "jsonl", "--interval", "0.5"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    header = json.loads(lines[0])["timeline"]
+    assert header["interval"] == 0.5
+    assert len(lines) == 1 + header["ticks"]
+
+
+def test_timeline_is_byte_identical_across_invocations(tmp_path):
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(["timeline", "--out", str(first)]) == 0
+    assert main(["timeline", "--out", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_alerts_default_and_transitions(tmp_path, capsys):
+    assert main(["alerts"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert {r["name"] for r in doc["rules"]} >= {"merge-ratio-floor"}
+    assert doc["evaluations"] > 0
+    out_path = tmp_path / "alerts.jsonl"
+    assert main(["alerts", "--transitions", "--out", str(out_path)]) == 0
+    lines = out_path.read_text().strip().splitlines()
+    assert lines
+    assert all(json.loads(line)["rule"] for line in lines)
 
 
 def test_bench_metrics_out(tmp_path):

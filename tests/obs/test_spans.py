@@ -1,0 +1,275 @@
+"""Unit tests for repro.obs.spans: the lifecycle-span tracker."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    CARAVAN_BATCH_WAIT_SECONDS,
+    GATEWAY_RESIDENCY_SECONDS,
+    LATENCY_BUCKETS,
+    LATENCY_METRICS,
+    MERGE_WAIT_SECONDS,
+    PROBE_RTT_SECONDS,
+    Span,
+    SpanTracker,
+)
+
+
+def test_latency_bucket_ladder_is_sorted_and_positive():
+    assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+    assert all(b > 0 for b in LATENCY_BUCKETS)
+    assert len(set(LATENCY_BUCKETS)) == len(LATENCY_BUCKETS)
+
+
+def test_latency_metrics_catalog():
+    assert set(LATENCY_METRICS) == {
+        GATEWAY_RESIDENCY_SECONDS,
+        MERGE_WAIT_SECONDS,
+        CARAVAN_BATCH_WAIT_SECONDS,
+        PROBE_RTT_SECONDS,
+    }
+
+
+def test_open_close_balance_and_duration():
+    tracker = SpanTracker()
+    sid = tracker.open(1.0, kind="packet", stage="forward")
+    assert tracker.open_count() == 1
+    assert tracker.balance() == {"opened": 1, "closed": 0, "dropped": 0, "open": 1}
+    assert tracker.balanced
+    tracker.close(sid, 1.25)
+    assert tracker.balance() == {"opened": 1, "closed": 1, "dropped": 0, "open": 0}
+    assert tracker.balanced
+    (span,) = tracker.finished()
+    assert span.sid == sid
+    assert span.outcome == "egress"
+    assert span.duration == pytest.approx(0.25)
+
+
+def test_drop_counts_separately_from_close():
+    tracker = SpanTracker()
+    sid = tracker.open(0.0)
+    tracker.drop(sid, 0.1, "no-route")
+    assert tracker.dropped == 1
+    assert tracker.closed == 0
+    assert tracker.balanced
+    (span,) = tracker.finished()
+    assert span.outcome == "no-route"
+
+
+def test_close_unknown_sid_is_anomaly_not_crash():
+    tracker = SpanTracker()
+    tracker.close(999, 1.0)
+    tracker.drop(998, 1.0, "x")
+    assert tracker.anomalies == 2
+    assert tracker.balanced
+
+
+def test_sync_fast_path_records_residency():
+    tracker = SpanTracker()
+    tracker.sync(2.0, 2.5, "mss")
+    assert tracker.balance() == {"opened": 1, "closed": 1, "dropped": 0, "open": 0}
+    assert tracker.latency_values(GATEWAY_RESIDENCY_SECONDS) == {0.5: 1}
+    (span,) = tracker.finished()
+    assert span.stage == "mss"
+    assert span.outcome == "egress"
+
+
+def test_sync_drop_fast_path():
+    tracker = SpanTracker()
+    tracker.sync_drop(1.0, 1.0, "malformed-caravan")
+    assert tracker.dropped == 1
+    assert tracker.balanced
+    (span,) = tracker.finished()
+    assert span.outcome == "malformed-caravan"
+    # drops don't pollute the residency histogram
+    assert tracker.latency_count(GATEWAY_RESIDENCY_SECONDS) == 0
+
+
+def test_derived_children_are_born_closed_with_parents():
+    tracker = SpanTracker()
+    parent = tracker.open(0.0)
+    tracker.derived((parent,), "split-segment", 0.5, count=3)
+    assert tracker.opened == 4
+    assert tracker.closed == 3
+    kids = tracker.finished("split-segment")
+    assert len(kids) == 3
+    assert all(k.parents == (parent,) for k in kids)
+    assert all(k.duration == 0.0 for k in kids)
+
+
+def test_merge_fifo_full_consume_closes_parents():
+    tracker = SpanTracker()
+    a = tracker.open(0.0)
+    b = tracker.open(0.001)
+    tracker.merge_enqueue("flow", a, 1000, 0.0)
+    tracker.merge_enqueue("flow", b, 500, 0.001)
+    assert tracker.pending_merge_bytes() == 1500
+    parents = tracker.merge_consume("flow", 1500, 0.002)
+    assert parents == (a, b)
+    assert tracker.pending_merge_bytes() == 0
+    assert tracker.open_count() == 0
+    merged = {s.sid: s for s in tracker.finished()}
+    assert merged[a].outcome == "merged"
+    assert merged[b].outcome == "merged"
+    # merge-wait recorded once per drained parent
+    assert tracker.latency_values(MERGE_WAIT_SECONDS) == {0.002: 1, 0.001: 1}
+    # residency recorded too (ingress -> merged egress)
+    assert tracker.latency_count(GATEWAY_RESIDENCY_SECONDS) == 2
+
+
+def test_merge_fifo_partial_consume_keeps_head_open():
+    tracker = SpanTracker()
+    a = tracker.open(0.0)
+    tracker.merge_enqueue("flow", a, 1000, 0.0)
+    parents = tracker.merge_consume("flow", 400, 0.01)
+    # the segment carries part of a's bytes: a is a parent but stays open
+    assert parents == (a,)
+    assert tracker.open_count() == 1
+    assert tracker.pending_merge_bytes() == 600
+    # the remainder drains later and only then does a close
+    parents = tracker.merge_consume("flow", 600, 0.02)
+    assert parents == (a,)
+    assert tracker.open_count() == 0
+    assert tracker.anomalies == 0
+
+
+def test_merge_fifo_underrun_is_anomaly():
+    tracker = SpanTracker()
+    parents = tracker.merge_consume("flow", 100, 1.0)
+    assert parents == ()
+    assert tracker.anomalies == 1
+
+
+def test_caravan_fifo_consume_and_batch_outcomes():
+    tracker = SpanTracker()
+    sids = [tracker.open(0.1 * i, kind="datagram") for i in range(3)]
+    for i, sid in enumerate(sids):
+        tracker.caravan_enqueue("cflow", sid, 0.1 * i)
+    assert tracker.pending_caravan_datagrams() == 3
+    parents = tracker.caravan_consume("cflow", 2, 0.5, outcome="bundled")
+    assert parents == tuple(sids[:2])
+    assert tracker.pending_caravan_datagrams() == 1
+    parents = tracker.caravan_consume("cflow", 1, 0.6, outcome="flushed")
+    assert parents == (sids[2],)
+    done = {s.sid: s for s in tracker.finished()}
+    assert done[sids[0]].outcome == "bundled"
+    assert done[sids[2]].outcome == "flushed"
+    assert tracker.anomalies == 0
+    assert tracker.balanced
+
+
+def test_caravan_fifo_underrun_is_anomaly():
+    tracker = SpanTracker()
+    assert tracker.caravan_consume("flow", 2, 1.0) == ()
+    # one anomaly per under-run event (the loop stops at the empty FIFO)
+    assert tracker.anomalies == 1
+
+
+def test_flush_fifos_settles_everything():
+    tracker = SpanTracker()
+    a = tracker.open(0.0)
+    b = tracker.open(0.0, kind="datagram")
+    tracker.merge_enqueue("f1", a, 700, 0.0)
+    tracker.caravan_enqueue("f2", b, 0.0)
+    settled = tracker.flush_fifos(1.0, outcome="failover")
+    assert settled == 2
+    assert tracker.pending_merge_bytes() == 0
+    assert tracker.pending_caravan_datagrams() == 0
+    assert tracker.open_count() == 0
+    assert tracker.balanced
+    outcomes = {s.outcome for s in tracker.finished()}
+    assert outcomes == {"failover"}
+
+
+def test_observe_and_median():
+    tracker = SpanTracker()
+    assert tracker.latency_median(PROBE_RTT_SECONDS) is None
+    for value in (0.03, 0.01, 0.02):
+        tracker.observe(PROBE_RTT_SECONDS, value)
+    assert tracker.latency_count(PROBE_RTT_SECONDS) == 3
+    assert tracker.latency_median(PROBE_RTT_SECONDS) == 0.02
+    # even count -> lower of the two middles
+    tracker.observe(PROBE_RTT_SECONDS, 0.04)
+    assert tracker.latency_median(PROBE_RTT_SECONDS) == 0.02
+    # repeated values collapse into one map entry but count fully
+    tracker.observe(PROBE_RTT_SECONDS, 0.04)
+    tracker.observe(PROBE_RTT_SECONDS, 0.04)
+    assert tracker.latency_values(PROBE_RTT_SECONDS)[0.04] == 3
+    assert tracker.latency_median(PROBE_RTT_SECONDS) == 0.03
+
+
+def test_unknown_metric_raises():
+    tracker = SpanTracker()
+    with pytest.raises(KeyError):
+        tracker.observe("px_not_a_metric", 1.0)
+
+
+def test_capacity_ring_sheds_but_counters_stay_exact():
+    tracker = SpanTracker(capacity=4)
+    for i in range(10):
+        tracker.sync(float(i), float(i) + 0.5, "forward")
+    assert tracker.closed == 10
+    assert len(tracker.finished()) == 4
+    assert tracker.shed == 6
+    assert tracker.balanced
+    # latency counters are unaffected by ring shedding
+    assert tracker.latency_count(GATEWAY_RESIDENCY_SECONDS) == 10
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        SpanTracker(capacity=0)
+
+
+def test_kinds_and_stages_views():
+    tracker = SpanTracker()
+    tracker.sync(0.0, 0.1, "forward")
+    tracker.sync(0.0, 0.1, "forward")
+    tracker.sync(0.0, 0.1, "hairpin")
+    tracker.derived((), "caravan", 0.2)
+    assert tracker.kinds() == {"caravan": 1, "packet": 3}
+    assert tracker.stages() == {"forward": 2, "hairpin": 1}
+
+
+def test_to_json_is_deterministic_and_parseable():
+    def build():
+        tracker = SpanTracker()
+        a = tracker.open(0.0)
+        tracker.merge_enqueue("f", a, 100, 0.0)
+        tracker.derived(tracker.merge_consume("f", 100, 0.01), "merged", 0.01)
+        tracker.sync(0.02, 0.03, "forward")
+        tracker.observe(PROBE_RTT_SECONDS, 0.02)
+        return tracker
+
+    one, two = build().to_json(), build().to_json()
+    assert one == two
+    doc = json.loads(one)
+    assert doc["balance"] == {"opened": 3, "closed": 3, "dropped": 0, "open": 0}
+    assert doc["anomalies"] == 0
+    assert set(doc["latency"]) == set(LATENCY_METRICS)
+    assert doc["latency"][PROBE_RTT_SECONDS] == {"count": 1, "sum": 0.02}
+    assert len(doc["spans"]) == 3
+    # limit keeps the newest spans
+    limited = json.loads(build().to_json(limit=1))
+    assert len(limited["spans"]) == 1
+    assert limited["spans"][0]["stage"] == "forward"
+
+
+def test_to_jsonl_one_span_per_line():
+    tracker = SpanTracker()
+    tracker.sync(0.0, 0.1, "forward")
+    tracker.sync(0.2, 0.3, "hairpin")
+    lines = tracker.to_jsonl().splitlines()
+    assert len(lines) == 2
+    assert [json.loads(l)["stage"] for l in lines] == ["forward", "hairpin"]
+    assert len(tracker.to_jsonl(limit=1).splitlines()) == 1
+
+
+def test_span_to_dict_roundtrip():
+    span = Span(7, "merged", 1.0, 2.0, "egress", (1, 2), None)
+    doc = span.to_dict()
+    assert doc == {
+        "sid": 7, "kind": "merged", "opened_at": 1.0, "closed_at": 2.0,
+        "outcome": "egress", "stage": None, "parents": [1, 2],
+    }

@@ -1,0 +1,122 @@
+"""Unit tests for repro.obs.timeline: in-sim periodic scrapes."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import TelemetryTimeline
+from repro.sim import Simulator
+
+
+def _world():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    counter = registry.counter("px_ticks_total", gateway="t")
+    return sim, registry, counter
+
+
+def test_interval_validation():
+    sim, registry, _ = _world()
+    with pytest.raises(ValueError):
+        TelemetryTimeline(sim, registry, interval=0)
+    with pytest.raises(ValueError):
+        TelemetryTimeline(sim, registry, interval=0.1, max_samples=0)
+
+
+def test_ticks_record_windowed_deltas():
+    sim, registry, counter = _world()
+    timeline = TelemetryTimeline(sim, registry, interval=0.1).start()
+    # bump the counter between scrape windows
+    sim.schedule_at(0.05, counter.inc, 3)
+    sim.schedule_at(0.15, counter.inc, 2)
+    sim.run(until=0.35)
+    timeline.stop()
+    assert timeline.ticks == 3
+    key = 'px_ticks_total{gateway="t"}'
+    deltas = [s["deltas"].get(key, 0.0) for s in timeline.samples]
+    assert deltas == [3.0, 2.0, 0.0]
+    # samples are stamped in sim time at the scrape instant
+    assert [s["time"] for s in timeline.samples] == pytest.approx([0.1, 0.2, 0.3])
+
+
+def test_start_is_idempotent_and_stop_cancels():
+    sim, registry, _ = _world()
+    timeline = TelemetryTimeline(sim, registry, interval=0.1)
+    assert not timeline.running
+    timeline.start()
+    handle_pending = sim.pending()
+    timeline.start()  # no second tick scheduled
+    assert sim.pending() == handle_pending
+    assert timeline.running
+    timeline.stop()
+    assert not timeline.running
+    sim.run(until=1.0)
+    assert timeline.ticks == 0
+
+
+def test_max_samples_sheds_oldest():
+    sim, registry, counter = _world()
+    timeline = TelemetryTimeline(sim, registry, interval=0.1, max_samples=2).start()
+    sim.schedule_at(0.05, counter.inc)
+    sim.run(until=0.55)
+    timeline.stop()
+    assert timeline.ticks == 5
+    assert len(timeline.samples) == 2
+    assert timeline.shed == 3
+    assert [s["time"] for s in timeline.samples] == pytest.approx([0.4, 0.5])
+
+
+def test_rates_totals_series_views():
+    sim, registry, counter = _world()
+    timeline = TelemetryTimeline(sim, registry, interval=0.1).start()
+    sim.schedule_at(0.05, counter.inc, 5)
+    sim.schedule_at(0.25, counter.inc, 1)
+    sim.run(until=0.35)
+    timeline.stop()
+    key = 'px_ticks_total{gateway="t"}'
+    assert timeline.totals() == {key: 6.0}
+    assert timeline.rates(timeline.samples[0]) == {key: pytest.approx(50.0)}
+    assert timeline.series(key) == [
+        (pytest.approx(0.1), 5.0), (pytest.approx(0.3), 1.0)
+    ]
+
+
+def test_alert_engine_is_fed_each_tick():
+    from repro.obs.alerts import AlertEngine, AlertRule
+
+    sim, registry, counter = _world()
+    engine = AlertEngine((
+        AlertRule(name="tick-rate", kind="rate",
+                  series='px_ticks_total{gateway="t"}', op=">", threshold=10.0),
+    ))
+    timeline = TelemetryTimeline(
+        sim, registry, interval=0.1, alerts=engine
+    ).start()
+    sim.schedule_at(0.05, counter.inc, 1000)
+    sim.run(until=0.25)
+    timeline.stop()
+    assert engine.evaluations == timeline.ticks == 2
+    assert [t["to"] for t in engine.transitions] == ["firing", "ok"]
+
+
+def test_exports_are_deterministic_and_jsonl_shaped():
+    def build():
+        sim, registry, counter = _world()
+        timeline = TelemetryTimeline(sim, registry, interval=0.1).start()
+        sim.schedule_at(0.05, counter.inc, 7)
+        sim.run(until=0.25)
+        timeline.stop()
+        return timeline
+
+    one, two = build(), build()
+    assert one.to_json() == two.to_json()
+    assert one.to_json(indent=2) == two.to_json(indent=2)
+    assert one.to_jsonl() == two.to_jsonl()
+    doc = json.loads(one.to_json())
+    assert doc["interval"] == 0.1
+    assert doc["ticks"] == 2
+    assert len(doc["samples"]) == 2
+    lines = one.to_jsonl().splitlines()
+    assert json.loads(lines[0])["timeline"]["ticks"] == 2
+    assert len(lines) == 1 + 2

@@ -39,6 +39,20 @@ def test_sequence_is_a_comparable_fingerprint():
     assert a.sequence() != b.sequence()
 
 
+def test_sequence_handles_list_valued_fields():
+    # Regression: events carrying list/dict values (e.g. a caravan's
+    # inner datagram sizes) used to make sequence() unhashable.
+    a, b = FlowTracer(), FlowTracer()
+    for tracer in (a, b):
+        tracer.record(0.1, "caravan-built", sizes=[500, 500, 600],
+                      meta={"flows": [1, 2]})
+    seq = a.sequence()
+    assert seq == b.sequence()
+    assert len({tuple(seq)}) == 1  # hashable end to end
+    b.record(0.2, "caravan-built", sizes=[700])
+    assert a.sequence() != b.sequence()
+
+
 def test_clear_keeps_the_recorded_total():
     tracer = FlowTracer()
     tracer.record(0.0, "x")

@@ -178,3 +178,63 @@ def test_execution_order_is_sorted_property(delays):
     assert fired == sorted(fired)
     assert len(fired) == len(delays)
     assert sim.pending() == 0 and sim.peek_time() is None
+
+
+def test_peek_pending_churn_invariant():
+    """peek_time() lazily pops cancelled heap entries; pending() is a
+    live counter the cancel already decremented.  Interleaving
+    schedule / cancel / peek in every order must keep pending() exact
+    and peek_time() pointing at the earliest *live* event."""
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+    assert sim.pending() == 8
+
+    # Cancel the head twice over: peek must skip past both, the counter
+    # must not double-decrement.
+    handles[0].cancel()
+    handles[0].cancel()  # idempotent
+    handles[1].cancel()
+    assert sim.pending() == 6
+    assert sim.peek_time() == 3.0  # lazily popped the two cancelled heads
+    assert sim.pending() == 6      # ...without touching the counter
+
+    # Schedule an earlier event after the peek compacted the head.
+    sim.schedule(0.5, lambda: None)
+    assert sim.peek_time() == 0.5
+    assert sim.pending() == 7
+
+    # Cancel a non-head entry: the heap still holds it, peek is unmoved.
+    handles[5].cancel()
+    assert sim.pending() == 6
+    assert sim.peek_time() == 0.5
+
+    # Churn: alternate cancels and peeks down to one live event.
+    for handle in handles[2:5] + handles[6:]:
+        before = sim.pending()
+        handle.cancel()
+        assert sim.pending() == before - 1
+        sim.peek_time()
+    assert sim.pending() == 1
+    assert sim.peek_time() == 0.5
+    sim.run()
+    assert sim.pending() == 0 and sim.peek_time() is None
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.01, max_value=100.0,
+                                    allow_nan=False),
+                          st.booleans(), st.booleans()), max_size=40))
+def test_peek_pending_churn_property(ops):
+    """Property form: after any schedule/cancel/peek interleaving the
+    counter equals the number of live handles."""
+    sim = Simulator()
+    live = []
+    for delay, do_cancel, do_peek in ops:
+        handle = sim.schedule(delay, lambda: None)
+        live.append(handle)
+        if do_cancel:
+            victim = live.pop(len(live) // 2)
+            victim.cancel()
+        if do_peek:
+            expected = min((h.time for h in live), default=None)
+            assert sim.peek_time() == expected
+        assert sim.pending() == len(live)
