@@ -15,12 +15,26 @@ Three layers:
   function) and minimization of failing schedules.
 """
 
+from .attacks import (
+    ATTACK_SCENARIOS,
+    AttackResult,
+    AttackWorld,
+    apply_attack_faults,
+    attack_corpus,
+    build_attack_plan,
+    build_attack_world,
+    run_attack_scenario,
+    run_differential,
+)
 from .faults import (
+    ATTACK_KINDS,
+    AttackFault,
     Fault,
     FaultLog,
     FaultPlan,
     GatewayFault,
     LinkInjector,
+    LyingDaemonInjector,
     Match,
     apply_gateway_faults,
 )
@@ -40,10 +54,22 @@ __all__ = [
     "Match",
     "Fault",
     "GatewayFault",
+    "AttackFault",
+    "ATTACK_KINDS",
+    "ATTACK_SCENARIOS",
+    "AttackResult",
+    "AttackWorld",
     "FaultPlan",
     "FaultLog",
     "LinkInjector",
+    "LyingDaemonInjector",
     "apply_gateway_faults",
+    "apply_attack_faults",
+    "attack_corpus",
+    "build_attack_plan",
+    "build_attack_world",
+    "run_attack_scenario",
+    "run_differential",
     "ChaosTap",
     "InvariantOracle",
     "summarize_packet",

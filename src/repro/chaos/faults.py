@@ -9,7 +9,7 @@ gateway at t=4 ms for 2 ms") that composes with
 a single seed.  Every failure a chaos run finds can be reproduced
 exactly and shrunk to a minimal schedule (:mod:`repro.chaos.shrink`).
 
-Two fault families:
+Three fault families:
 
 * **Link faults** (:class:`Fault`) act on the Nth..Nth+count-1 packets
   matching a :class:`Match` predicate as they cross one link:
@@ -17,6 +17,13 @@ Two fault families:
 * **Gateway faults** (:class:`GatewayFault`) hit the PXGW itself at an
   absolute time: merge-context eviction storms, on-NIC memory
   exhaustion (forcing ``hdo_fallbacks``), and worker stalls.
+* **Attack faults** (:class:`AttackFault`) model an *adversary* rather
+  than an unreliable network: off-path forged F-PMTUD reports, forged
+  ICMP packet-too-big, spoofed PLPMTUD acks (all injected from an
+  attacker host at absolute times), and a lying on-path report daemon
+  (:class:`LyingDaemonInjector` rewriting genuine fragment reports).
+  Scheduling them onto a world is done by
+  :func:`repro.chaos.attacks.apply_attack_faults`.
 
 Semantics chosen to match real networks:
 
@@ -42,16 +49,21 @@ __all__ = [
     "Match",
     "Fault",
     "GatewayFault",
+    "AttackFault",
     "FaultPlan",
     "LinkInjector",
+    "LyingDaemonInjector",
     "FaultLog",
     "apply_gateway_faults",
+    "ATTACK_KINDS",
 ]
 
 #: Valid link-fault actions.
 ACTIONS = ("drop", "duplicate", "reorder", "corrupt", "truncate", "delay")
 #: Valid gateway-fault kinds.
 GATEWAY_KINDS = ("stall", "eviction_storm", "nic_pressure")
+#: Valid attacker-model kinds.
+ATTACK_KINDS = ("forged_report", "forged_ptb", "forged_echo_ack", "lying_daemon")
 
 
 @dataclass(frozen=True)
@@ -139,6 +151,68 @@ class GatewayFault:
 
     def describe(self) -> str:
         return f"{self.kind}@t={self.at:g}s/{self.duration:g}s"
+
+
+@dataclass(frozen=True)
+class AttackFault:
+    """One adversarial action against the PMTUD control plane.
+
+    Kinds (all deterministic; timing and repetition are explicit):
+
+    * ``forged_report`` — off-path spoofed F-PMTUD fragment reports,
+      claiming a single fragment of ``mtu`` bytes, sprayed over probe
+      ids ``id_base .. id_base+id_span-1`` (guessing a sequential-id
+      prober) in ``count`` bursts ``interval`` apart;
+    * ``forged_ptb`` — off-path spoofed ICMP fragmentation-needed with
+      next-hop MTU ``mtu``, quoting the 4-tuple in :attr:`flow`;
+    * ``forged_echo_ack`` — spoofed PLPMTUD/classical probe acks over
+      the same guessed id range;
+    * ``lying_daemon`` — on-path rewrite of *genuine* fragment reports
+      crossing :attr:`link` to claim ``mtu``-byte fragments
+      (:class:`LyingDaemonInjector`).
+
+    ``target`` / ``spoof`` are world role names ("victim", "neighbor",
+    "server", ...) resolved by :func:`repro.chaos.attacks.apply_attack_faults`;
+    keeping roles rather than addresses makes plans world-independent
+    and therefore replayable/shrinkable like every other fault.
+    """
+
+    kind: str
+    at: float = 0.0
+    count: int = 1
+    interval: float = 1e-3
+    #: The MTU/fragment-size lie, in bytes.
+    mtu: int = 296
+    #: First probe id to guess (sequential-id probers start at 1).
+    id_base: int = 1
+    #: How many consecutive ids each burst covers.
+    id_span: int = 1
+    #: For ``lying_daemon``: the link role whose reports are rewritten.
+    link: str = ""
+    #: For ``forged_ptb``: the quoted flow as role names
+    #: (src_role, src_port, dst_role, dst_port).
+    flow: Optional[Tuple[str, int, str, int]] = None
+    #: Role receiving the forged message.
+    target: str = "victim"
+    #: Role whose address the forged message claims to come from.
+    spoof: str = "server"
+    #: Destination port of forged UDP (prober/searcher source port).
+    target_port: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ATTACK_KINDS:
+            raise ValueError(f"unknown attack kind {self.kind!r}")
+        if self.at < 0 or self.count < 1 or self.interval < 0:
+            raise ValueError("attacks need at >= 0, count >= 1, interval >= 0")
+        if self.kind == "lying_daemon" and not self.link:
+            raise ValueError("lying_daemon attacks need a link role")
+        if self.kind == "forged_ptb" and self.flow is None:
+            raise ValueError("forged_ptb attacks need a quoted flow")
+
+    def describe(self) -> str:
+        times = "" if self.count == 1 else f"x{self.count}"
+        where = f"@{self.link}" if self.kind == "lying_daemon" else f"->{self.target}"
+        return f"{self.kind}({self.mtu}){where}@t={self.at:g}s{times}"
 
 
 @dataclass
@@ -247,19 +321,60 @@ class LinkInjector:
         return mutated
 
 
+class LyingDaemonInjector:
+    """An on-path adversary rewriting genuine F-PMTUD reports.
+
+    Unlike the off-path forgers, this model has the real probe id in
+    hand (it reads it off the wire), so per-probe nonces cannot help —
+    only the prober's plausible-PMTU bounds can.  Every matching
+    report's fragment-size list is rewritten to a single ``claim``-byte
+    fragment, with the UDP/IP lengths fixed up so the packet stays
+    well-formed (same idiom as ``truncate``).
+    """
+
+    def __init__(self, claim: int, report_port: int,
+                 log: Optional[FaultLog] = None):
+        self.claim = claim
+        self.report_port = report_port
+        self.log = log if log is not None else FaultLog()
+        self.rewritten = 0
+
+    def apply(self, packet: Packet, now: float) -> List[Tuple[Packet, float]]:
+        from ..pmtud.fpmtud import _pack_report, _parse_report
+
+        if not packet.is_udp or packet.udp.dst_port != self.report_port:
+            return [(packet, 0.0)]
+        parsed = _parse_report(packet.payload)
+        if parsed is None:
+            return [(packet, 0.0)]
+        probe_id, _sizes = parsed
+        mutated = packet.copy()
+        mutated.payload = _pack_report(probe_id, [self.claim])
+        mutated.udp.length = 8 + len(mutated.payload)
+        mutated.ip.total_length = (
+            mutated.ip.header_len + mutated.l4_header_len + len(mutated.payload)
+        )
+        self.rewritten += 1
+        self.log.note(now, f"lying_daemon({self.claim})", packet)
+        return [(mutated, 0.0)]
+
+
 @dataclass
 class FaultPlan:
     """A complete, replayable fault schedule for one scenario."""
 
     link_faults: List[Fault] = field(default_factory=list)
     gateway_faults: List[GatewayFault] = field(default_factory=list)
+    attack_faults: List[AttackFault] = field(default_factory=list)
 
     def __len__(self) -> int:
-        return len(self.link_faults) + len(self.gateway_faults)
+        return (len(self.link_faults) + len(self.gateway_faults)
+                + len(self.attack_faults))
 
     def describe(self) -> str:
         parts = [fault.describe() for fault in self.link_faults]
         parts += [fault.describe() for fault in self.gateway_faults]
+        parts += [fault.describe() for fault in self.attack_faults]
         return " + ".join(parts) if parts else "(no faults)"
 
     def injectors(self, log: Optional[FaultLog] = None) -> "Dict[str, LinkInjector]":
@@ -271,22 +386,29 @@ class FaultPlan:
         return {link: LinkInjector(faults, log) for link, faults in by_link.items()}
 
     def without(self, index: int) -> "FaultPlan":
-        """A copy with the index-th fault (links first, then gateway) removed."""
+        """A copy with the index-th fault removed (links, then gateway,
+        then attacks)."""
         links = list(self.link_faults)
         gateways = list(self.gateway_faults)
+        attacks = list(self.attack_faults)
         if index < len(links):
             del links[index]
-        else:
+        elif index < len(links) + len(gateways):
             del gateways[index - len(links)]
-        return replace(self, link_faults=links, gateway_faults=gateways)
+        else:
+            del attacks[index - len(links) - len(gateways)]
+        return replace(self, link_faults=links, gateway_faults=gateways,
+                       attack_faults=attacks)
 
     def subset(self, keep: List[int]) -> "FaultPlan":
         """A copy retaining only the faults at the given indices."""
-        merged = list(self.link_faults) + list(self.gateway_faults)
+        merged = (list(self.link_faults) + list(self.gateway_faults)
+                  + list(self.attack_faults))
         chosen = [merged[i] for i in sorted(set(keep)) if 0 <= i < len(merged)]
         return FaultPlan(
             link_faults=[f for f in chosen if isinstance(f, Fault)],
             gateway_faults=[f for f in chosen if isinstance(f, GatewayFault)],
+            attack_faults=[f for f in chosen if isinstance(f, AttackFault)],
         )
 
 

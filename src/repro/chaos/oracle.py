@@ -480,3 +480,39 @@ class InvariantOracle:
             "pmtud-convergence",
             f"estimate {final} B outside [{true_min_mtu - 7}, {true_min_mtu}]",
         )
+
+    # ------------------------------------------------------------------
+    # 7. PMTU sanity under attack
+    # ------------------------------------------------------------------
+    def check_pmtu_sanity(
+        self,
+        estimates: "Sequence[int]",
+        true_min_mtu: int,
+        link_mtu: int,
+        floor: int = 576,
+    ) -> None:
+        """Every *accepted* PMTU estimate must be physically possible.
+
+        A hardened endpoint never acts on a value below the plausibility
+        floor or above the first-hop link MTU, and the value it finally
+        settles on must not exceed the true path minimum (an inflated
+        estimate blackholes every full-sized packet at the bottleneck).
+        This is the oracle the adversarial teeth test points at a
+        deliberately un-hardened prober: accepting a forged report must
+        surface here, not silently mis-size the datapath.
+        """
+        for estimate in estimates:
+            self.expect(
+                floor <= estimate <= link_mtu,
+                "pmtu-sanity",
+                f"accepted estimate {estimate} B outside the plausible "
+                f"band [{floor}, {link_mtu}]",
+            )
+        if estimates:
+            final = estimates[-1]
+            self.expect(
+                final <= true_min_mtu,
+                "pmtu-sanity",
+                f"final estimate {final} B exceeds the true path minimum "
+                f"{true_min_mtu} B (oversized packets will blackhole)",
+            )

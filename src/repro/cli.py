@@ -141,6 +141,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=101)
     report.add_argument("--indent", type=int, default=2,
                         help="JSON indent (0 for compact)")
+
+    attacks = commands.add_parser(
+        "attacks",
+        help="run the adversarial PMTUD scenarios differentially "
+             "(hardened vs unhardened) and print the verdict table",
+    )
+    attacks.add_argument("--scenario", default=None,
+                         help="run one named scenario (default: all)")
+    attacks.add_argument("--seed", type=int, default=7)
+    attacks.add_argument("--json", action="store_true",
+                         help="emit full results as JSON instead of a table")
     return parser
 
 
@@ -527,8 +538,60 @@ def _cmd_resilience_report(args) -> int:
     return 0
 
 
+def _cmd_attacks(args) -> int:
+    import json
+
+    from .chaos.attacks import ATTACK_SCENARIOS, run_differential
+
+    names = [args.scenario] if args.scenario else sorted(ATTACK_SCENARIOS)
+    rows = []
+    for name in names:
+        if name not in ATTACK_SCENARIOS:
+            print(f"unknown scenario {name!r}; have {sorted(ATTACK_SCENARIOS)}",
+                  file=sys.stderr)
+            return 2
+        hardened, unhardened = run_differential(name, args.seed)
+        rows.append((name, hardened, unhardened))
+
+    if args.json:
+        payload = [
+            {
+                "scenario": name,
+                "seed": args.seed,
+                "hardened": {
+                    "compromised": h.compromised,
+                    "estimates": h.estimates,
+                    "violations": h.violations,
+                    "alerts_fired": h.alerts.get("fired", []),
+                    "digest": h.digest,
+                },
+                "unhardened": {
+                    "compromised": u.compromised,
+                    "estimates": u.estimates,
+                    "alerts_fired": u.alerts.get("fired", []),
+                    "digest": u.digest,
+                },
+            }
+            for name, h, u in rows
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{'scenario':26s} {'hardened':10s} {'unhardened':12s} verdict")
+        for name, h, u in rows:
+            h_word = "COMPROMISED" if h.compromised else "safe"
+            u_word = "COMPROMISED" if u.compromised else "safe"
+            defended = (not h.compromised) and (
+                u.compromised or name == "benign-control")
+            verdict = "defended" if defended else "NOT DEFENDED"
+            print(f"{name:26s} {h_word:10s} {u_word:12s} {verdict}")
+    bad = [name for name, h, u in rows
+           if h.compromised or (not u.compromised and name != "benign-control")]
+    return 1 if bad else 0
+
+
 _COMMANDS = {
     "gateway": _cmd_gateway,
+    "attacks": _cmd_attacks,
     "pmtud": _cmd_pmtud,
     "upf": _cmd_upf,
     "survey": _cmd_survey,

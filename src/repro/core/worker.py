@@ -306,10 +306,20 @@ class GatewayWorker:
         return self._emit([packet], bound, data=False)
 
     def _path_limit(self, packet: Packet, now: float):
-        """The live cached PMTU toward this packet's destination."""
+        """The live cached PMTU toward this packet's destination.
+
+        The lookup is flow-scoped: a per-flow cache entry (hardened
+        PMTU isolation across shared destination addresses) wins over
+        the destination wildcard, so one flow's poisoned clamp cannot
+        resize its neighbours' segments.
+        """
         if self.pmtu_cache is None:
             return None
-        entry = self.pmtu_cache.lookup(packet.ip.dst, now)
+        flow = packet.flow_key()
+        entry = self.pmtu_cache.lookup(
+            packet.ip.dst, now,
+            flow=tuple(flow) if flow is not None else None,
+        )
         return entry.pmtu if entry is not None else None
 
     # ------------------------------------------------------------------

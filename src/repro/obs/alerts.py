@@ -23,8 +23,8 @@ import operator
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["AlertRule", "AlertEngine", "default_alert_rules",
-           "OK", "PENDING", "FIRING"]
+__all__ = ["AlertRule", "AlertEngine", "adversarial_alert_rules",
+           "default_alert_rules", "OK", "PENDING", "FIRING"]
 
 OK = "ok"
 PENDING = "pending"
@@ -250,5 +250,36 @@ def default_alert_rules(gateway: str = "pxgw") -> Tuple[AlertRule, ...]:
             op=">", threshold=200.0,
             description="PMTU clamp-cache miss burst: outbound splits "
                         "are re-probing instead of reusing cached PMTUs.",
+        ),
+    )
+
+
+def adversarial_alert_rules(gateway: str = "pxgw",
+                            agent: str = "fpmtud") -> Tuple[AlertRule, ...]:
+    """The stock rules plus attack-detection rules.
+
+    Used by :mod:`repro.chaos.attacks`: a PMTUD attack should be
+    *visible*, not just survived.  A forged-report flood shows up twice
+    — the hardened prober's rejection counter spikes, and the starved
+    clamp cache breaches the stock miss-rate ceiling.
+    """
+    return default_alert_rules(gateway) + (
+        AlertRule(
+            name="pmtud-rejected-reports",
+            kind="rate",
+            series=f'px_pmtud_rejected_reports_total{{agent="{agent}"}}',
+            op=">", threshold=100.0,
+            description="The prober is rejecting fragment reports at "
+                        "flood rate — forged or lying reports are "
+                        "being thrown at the discovery path.",
+        ),
+        AlertRule(
+            name="pmtu-cache-poison-attempts",
+            kind="rate",
+            series=f'px_pmtu_cache_poison_rejected_total{{gateway="{gateway}"}}',
+            op=">", threshold=20.0,
+            description="The PMTU cache is refusing unsolicited "
+                        "learns (implausible or raising values) at a "
+                        "rate consistent with active poisoning.",
         ),
     )

@@ -226,6 +226,14 @@ def observe_gateway(obs: Observability, gateway, name: Optional[str] = None) -> 
                     "Entries dropped by TTL expiry.")
             counter("px_pmtu_cache_invalidations_total", cache.invalidations,
                     "Entries flushed by invalidation (route changes).")
+            counter("px_pmtu_cache_poison_rejected_total",
+                    getattr(cache, "poison_rejected", 0),
+                    "Unsolicited learns refused by the hardening policy "
+                    "(implausible values or raises over live entries).")
+            counter("px_pmtu_cache_contradictions_total",
+                    getattr(cache, "contradictions", 0),
+                    "Cached entries dropped because a fresh probe "
+                    "measurement contradicted them.")
             gauge("px_pmtu_cache_entries", len(cache),
                   "Live PMTU-cache entries.")
 
@@ -370,6 +378,15 @@ def observe_pmtud(obs: Observability, prober=None, daemon=None,
             registry.gauge("px_pmtud_probes_in_flight",
                            "Probes awaiting a report or timeout.",
                            agent=name).set(prober.pending_probes())
+            registry.counter("px_pmtud_rejected_reports_total",
+                             "Reports dropped by hardening validation.",
+                             agent=name).set_total(
+                                 getattr(prober, "rejected_reports", 0))
+            for reason, count in sorted(
+                    getattr(prober, "rejections", {}).items()):
+                registry.counter("px_pmtud_rejections_total",
+                                 "Report rejections by validation reason.",
+                                 agent=name, reason=reason).set_total(count)
             if prober.last_pmtu is not None:
                 registry.gauge("px_pmtud_last_pmtu_bytes",
                                "Most recent discovered path MTU.",

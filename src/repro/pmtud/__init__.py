@@ -1,12 +1,17 @@
 """Path MTU discovery: F-PMTUD and its baselines, plus the §5.3 survey."""
 
 from .classical import ClassicalPmtud, ClassicalResult, PLATEAU_TABLE
-from .echo import ECHO_PORT, ProbeEchoDaemon
+from .echo import ECHO_PORT, ProbeEchoDaemon, pack_echo_ack
 from .fpmtud import FPMTUD_PORT, FPmtudDaemon, FPmtudProber, FPmtudResult
+from .hardening import MIN_PLAUSIBLE_PMTU, HardeningPolicy, ReportRateLimiter
 from .plpmtud import Plpmtud, PlpmtudResult
 from .survey import FragmentSurvey, SurveyRates, SurveyResult, probe_path_with_fragments
 
 __all__ = [
+    "HardeningPolicy",
+    "ReportRateLimiter",
+    "MIN_PLAUSIBLE_PMTU",
+    "pack_echo_ack",
     "FPmtudProber",
     "FPmtudDaemon",
     "FPmtudResult",

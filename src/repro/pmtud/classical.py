@@ -10,12 +10,15 @@ the failure mode measured at ~49 % of Internet paths by 2018.
 
 from __future__ import annotations
 
+import random
+import struct
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..net.host import Host
 from ..packet import ICMPMessage, IPv4Header, Packet
 from .echo import ECHO_PORT, pack_echo_probe, parse_echo_ack
+from .hardening import MIN_PLAUSIBLE_PMTU, HardeningPolicy, ReportRateLimiter
 
 __all__ = ["ClassicalPmtud", "ClassicalResult", "PLATEAU_TABLE"]
 
@@ -44,13 +47,27 @@ class ClassicalPmtud:
         src_port: int = 53000,
         probe_timeout: float = 2.0,
         max_retries: int = 3,
+        policy: Optional[HardeningPolicy] = None,
+        nonce_seed: int = 0,
     ):
         self.host = host
         self.src_port = src_port
         self.probe_timeout = probe_timeout
         self.max_retries = max_retries
+        #: ICMP is the attack surface here: with hardening on, a PTB
+        #: must quote *our* 4-tuple, carry a plausible lowering hint,
+        #: and pass a token-bucket rate limit before it moves the
+        #: estimate (off-path RFC 5927-style validation).
+        self.policy = policy if policy is not None else HardeningPolicy.unhardened()
+        self._nonce_rng = random.Random(f"classical-nonce:{nonce_seed}")
+        self._limiter = (ReportRateLimiter(self.policy.report_rate,
+                                           self.policy.report_burst)
+                         if self.policy.rate_limit_reports else None)
         self._active: Optional[dict] = None
         self._probe_counter = 0
+        #: PTBs dropped by validation, by reason.
+        self.ptb_rejected = 0
+        self.ptb_rejections: dict = {}
         host.on_udp(src_port, self._on_ack)
         host.on_icmp(self._on_icmp)
 
@@ -78,10 +95,14 @@ class ClassicalPmtud:
     # ------------------------------------------------------------------
     def _send_probe(self) -> None:
         state = self._active
-        self._probe_counter += 1
-        state["probe_id"] = self._probe_counter
+        if self.policy.probe_nonces:
+            probe_id = self._nonce_rng.getrandbits(32)
+        else:
+            self._probe_counter += 1
+            probe_id = self._probe_counter
+        state["probe_id"] = probe_id
         state["probes"] += 1
-        payload = pack_echo_probe(self._probe_counter, state["estimate"])
+        payload = pack_echo_probe(probe_id, state["estimate"])
         self.host.send_udp(state["dst"], self.src_port, ECHO_PORT, payload,
                            dont_fragment=True)
         if state["timer"] is not None:
@@ -97,6 +118,10 @@ class ClassicalPmtud:
         state["timer"].cancel()
         self._finish(pmtu=state["estimate"], blackholed=False)
 
+    def _reject_ptb(self, reason: str) -> None:
+        self.ptb_rejected += 1
+        self.ptb_rejections[reason] = self.ptb_rejections.get(reason, 0) + 1
+
     def _on_icmp(self, packet: Packet, message: ICMPMessage) -> None:
         state = self._active
         if state is None or not message.is_frag_needed:
@@ -107,8 +132,36 @@ class ClassicalPmtud:
             return
         if inner.dst != state["dst"]:
             return
-        state["icmp"] += 1
+        if self.policy.validate_inner:
+            # The quoted packet must be one we could have sent: our
+            # address, our probe source port.  An off-path forger has
+            # to guess the port to get this far.
+            if inner.src != self.host.ip:
+                self._reject_ptb("inner-src")
+                return
+            if len(message.payload) >= 24:
+                quoted_sport = struct.unpack_from("!H", message.payload, 20)[0]
+                if quoted_sport != self.src_port:
+                    self._reject_ptb("inner-port")
+                    return
+        if self._limiter is not None and not self._limiter.allow(self.host.sim.now):
+            self._reject_ptb("rate-limited")
+            return
         hinted = message.next_hop_mtu
+        if self.policy.pmtu_bounds and hinted and not (
+            MIN_PLAUSIBLE_PMTU <= hinted < state["estimate"]
+        ):
+            # Absurdly small, or a "raise" that contradicts the probe
+            # we just saw die: hostile either way.
+            self._reject_ptb("bounds")
+            return
+        if self.policy.pmtu_bounds and not hinted:
+            # A hintless PTB would force a plateau drop — a forged one
+            # walks the estimate down the whole table.  Treat silence
+            # as untrustworthy and let the probe timeout path decide.
+            self._reject_ptb("no-hint")
+            return
+        state["icmp"] += 1
         if hinted and hinted < state["estimate"]:
             state["estimate"] = hinted
         else:

@@ -14,7 +14,13 @@ from typing import Optional
 from ..net.host import Host
 from ..packet import Packet
 
-__all__ = ["ProbeEchoDaemon", "ECHO_PORT", "pack_echo_probe", "parse_echo_ack"]
+__all__ = [
+    "ProbeEchoDaemon",
+    "ECHO_PORT",
+    "pack_echo_ack",
+    "pack_echo_probe",
+    "parse_echo_ack",
+]
 
 ECHO_PORT = 7838
 _ACK_MAGIC = b"PEAK"
@@ -28,6 +34,14 @@ def pack_echo_probe(probe_id: int, size: int) -> bytes:
     if payload_len < len(head):
         raise ValueError(f"probe size {size} too small")
     return head + bytes(payload_len - len(head))
+
+
+def pack_echo_ack(probe_id: int) -> bytes:
+    """An ack for *probe_id* — what the daemon sends, and exactly what
+    an off-path forger has to guess to fake packetization-layer
+    delivery (the RFC 4821 inflation attack modelled in
+    :mod:`repro.chaos.attacks`)."""
+    return _ACK_MAGIC + struct.pack("!I", probe_id)
 
 
 def parse_echo_ack(payload: bytes) -> Optional[int]:
@@ -50,6 +64,6 @@ class ProbeEchoDaemon:
         if len(packet.payload) < 8 or packet.payload[:4] != _PROBE_MAGIC:
             return
         probe_id = struct.unpack_from("!I", packet.payload, 4)[0]
-        ack = _ACK_MAGIC + struct.pack("!I", probe_id)
+        ack = pack_echo_ack(probe_id)
         host.send_udp(packet.ip.src, self.port, packet.udp.src_port, ack)
         self.acks_sent += 1

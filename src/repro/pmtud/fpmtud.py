@@ -21,6 +21,7 @@ merging; see :class:`repro.core.PXGateway`.
 
 from __future__ import annotations
 
+import random
 import struct
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
@@ -29,6 +30,7 @@ from ..core.gateway import FPMTUD_PORT
 from ..net.host import Host
 from ..obs.spans import PROBE_RTT_SECONDS
 from ..packet import Packet
+from .hardening import MIN_PLAUSIBLE_PMTU, HardeningPolicy
 
 __all__ = ["FPmtudDaemon", "FPmtudProber", "FPmtudResult", "FPMTUD_PORT"]
 
@@ -105,17 +107,39 @@ class FPmtudDaemon:
 
 
 class FPmtudProber:
-    """The sender-side agent: one probe, one report, one RTT."""
+    """The sender-side agent: one probe, one report, one RTT.
 
-    def __init__(self, host: Host, src_port: int = 52000, daemon_port: int = FPMTUD_PORT):
+    With a :class:`HardeningPolicy` attached, probe ids become
+    unguessable per-probe nonces (the id field already round-trips
+    through the daemon verbatim, so the wire format is unchanged) and
+    incoming reports are validated against the plausible-PMTU band
+    ``[576, min(probe size, link_mtu)]`` before acceptance.  Rejected
+    reports are counted, never acted on, and leave the probe pending
+    so the normal timeout/retry path drives recovery.
+    """
+
+    def __init__(self, host: Host, src_port: int = 52000, daemon_port: int = FPMTUD_PORT,
+                 policy: Optional[HardeningPolicy] = None,
+                 link_mtu: Optional[int] = None, nonce_seed: int = 0):
         self.host = host
         self.src_port = src_port
         self.daemon_port = daemon_port
+        #: Defenses applied to incoming reports; defaults to the
+        #: original trusting behaviour so existing callers see no change.
+        self.policy = policy if policy is not None else HardeningPolicy.unhardened()
+        #: Plausibility ceiling: no real path through our first hop can
+        #: have a PMTU above the link MTU toward it.
+        self.link_mtu = link_mtu
+        self._nonce_rng = random.Random(f"fpmtud-nonce:{nonce_seed}")
         self._pending: Dict[int, dict] = {}
         self._next_id = 1
         self.probes_sent = 0
         self.reports_received = 0
         self.timeouts = 0
+        #: Reports dropped by validation, with a per-reason breakdown
+        #: (``unknown-id`` / ``bounds``) in :attr:`rejections`.
+        self.rejected_reports = 0
+        self.rejections: Dict[str, int] = {"unknown-id": 0, "bounds": 0}
         #: Most recently discovered PMTU (None until a report lands).
         self.last_pmtu: Optional[int] = None
         #: Optional :class:`repro.obs.FlowTracer` recording the probe
@@ -144,8 +168,7 @@ class FPmtudProber:
         *on_result* fires when the daemon's report arrives (normally
         after a single RTT).  Returns the probe id.
         """
-        probe_id = self._next_id
-        self._next_id += 1
+        probe_id = self._allocate_id()
         payload = _pack_probe(probe_id, probe_size)
         sent_at = self.host.sim.now
         handle = self.host.sim.schedule(timeout, self._on_probe_timeout, probe_id)
@@ -169,16 +192,57 @@ class FPmtudProber:
             )
         return probe_id
 
+    def _allocate_id(self) -> int:
+        """Sequential ids normally; unguessable nonces under hardening."""
+        if not self.policy.probe_nonces:
+            probe_id = self._next_id
+            self._next_id += 1
+            return probe_id
+        probe_id = self._nonce_rng.getrandbits(32)
+        while probe_id == 0 or probe_id in self._pending:
+            probe_id = self._nonce_rng.getrandbits(32)
+        return probe_id
+
+    def _reject_report(self, reason: str, probe_id: int, pmtu: Optional[int]) -> None:
+        self.rejected_reports += 1
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        now = self.host.sim.now
+        if self.spans is not None:
+            # A balanced anomaly span: visible in the span stream (and
+            # the latency timeline) without leaving anything open.
+            self.spans.drop(self.spans.open(now, kind="rejected-report"),
+                            now, reason)
+        if self.tracer is not None:
+            self.tracer.record(now, "pmtud-report-rejected",
+                               probe_id=probe_id, reason=reason, pmtu=pmtu)
+
     def _on_report(self, packet: Packet, host: Host) -> None:
         parsed = _parse_report(packet.payload)
         if parsed is None:
             return
         probe_id, sizes = parsed
-        pending = self._pending.pop(probe_id, None)
+        pending = self._pending.get(probe_id)
         if pending is None:
+            # Unsolicited (or forged/duplicate) report: with nonce ids
+            # an off-path attacker lands here with overwhelming
+            # probability.  Count it so the obs layer can alert.
+            self._reject_report("unknown-id", probe_id,
+                                max(sizes) if sizes else None)
             return
-        pending["timer"].cancel()
         pmtu = max(sizes) if sizes else pending["probe_size"]
+        if self.policy.pmtu_bounds:
+            ceiling = pending["probe_size"]
+            if self.link_mtu is not None:
+                ceiling = min(ceiling, self.link_mtu)
+            if not (MIN_PLAUSIBLE_PMTU <= pmtu <= ceiling) or any(
+                size > ceiling for size in sizes
+            ):
+                # Leave the probe pending: the timeout drives a retry,
+                # so a lying daemon costs time, not correctness.
+                self._reject_report("bounds", probe_id, pmtu)
+                return
+        del self._pending[probe_id]
+        pending["timer"].cancel()
         self.reports_received += 1
         self.last_pmtu = pmtu
         if self.spans is not None and pending["span"] is not None:

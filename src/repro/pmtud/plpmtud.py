@@ -11,12 +11,14 @@ measured against in §5.3.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..net.host import Host
 from ..packet import Packet
 from .echo import ECHO_PORT, pack_echo_probe, parse_echo_ack
+from .hardening import HardeningPolicy
 
 __all__ = ["Plpmtud", "PlpmtudResult"]
 
@@ -46,14 +48,23 @@ class Plpmtud:
         probe_timeout: float = 2.0,
         max_retries: int = 2,
         granularity: int = 8,
+        policy: Optional[HardeningPolicy] = None,
+        nonce_seed: int = 0,
     ):
         self.host = host
         self.src_port = src_port
         self.probe_timeout = probe_timeout
         self.max_retries = max_retries
         self.granularity = granularity
+        #: With ``probe_nonces`` on, probe ids are unguessable, so a
+        #: spoofed PEAK ack cannot confirm a probe the path actually
+        #: swallowed (the inflation attack on RFC 4821's loss inference).
+        self.policy = policy if policy is not None else HardeningPolicy.unhardened()
+        self._nonce_rng = random.Random(f"plpmtud-nonce:{nonce_seed}")
         self._active: Optional[dict] = None
         self._probe_counter = 0
+        #: Acks that matched no outstanding probe id.
+        self.acks_ignored = 0
         host.on_udp(src_port, self._on_ack)
 
     def discover(
@@ -84,12 +95,16 @@ class Plpmtud:
     def _probe_current(self) -> None:
         state = self._active
         size = state["candidate"]
-        self._probe_counter += 1
-        state["probe_id"] = self._probe_counter
+        if self.policy.probe_nonces:
+            probe_id = self._nonce_rng.getrandbits(32)
+        else:
+            self._probe_counter += 1
+            probe_id = self._probe_counter
+        state["probe_id"] = probe_id
         state["probes"] += 1
         if not state["sizes"] or state["sizes"][-1] != size:
             state["sizes"].append(size)
-        payload = pack_echo_probe(self._probe_counter, size)
+        payload = pack_echo_probe(probe_id, size)
         self.host.send_udp(state["dst"], self.src_port, ECHO_PORT, payload,
                            dont_fragment=True)
         if state["timer"] is not None:
@@ -99,6 +114,8 @@ class Plpmtud:
     def _on_ack(self, packet: Packet, host: Host) -> None:
         state = self._active
         if state is None or parse_echo_ack(packet.payload) != state["probe_id"]:
+            if state is not None and parse_echo_ack(packet.payload) is not None:
+                self.acks_ignored += 1
             return
         state["timer"].cancel()
         state["retries"] = 0

@@ -22,7 +22,8 @@ from .failover import (
 )
 from .health import HealthMonitor, HealthPolicy, HealthState
 from .negotiation import CARAVAN_CAP_PORT, CaravanNegotiator
-from .pmtu_cache import PmtuCache, PmtuEntry
+from .pmtu_cache import TRUST_RANK, PmtuCache, PmtuEntry
+from .ptb import PtbListener
 from .retry import BackoffPolicy, RetryBudget
 
 __all__ = [
@@ -30,6 +31,8 @@ __all__ = [
     "RetryBudget",
     "PmtuCache",
     "PmtuEntry",
+    "PtbListener",
+    "TRUST_RANK",
     "HealthState",
     "HealthPolicy",
     "HealthMonitor",

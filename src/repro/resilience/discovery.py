@@ -227,6 +227,12 @@ class ResilientPmtud:
     # ------------------------------------------------------------------
     def _finish(self, dst: int, pmtu: int, source: str) -> None:
         state = self._active.pop(dst)
+        # A fresh measurement outranks anything cached: drop every live
+        # entry it contradicts (a poisoned or stale value must not be
+        # reused by flows whose key the learn below does not overwrite).
+        dropped = self.cache.reconcile(dst, pmtu, self.sim.now)
+        if dropped:
+            state["trail"].append(f"cache-reconciled-{dropped}")
         self.cache.learn(dst, pmtu, self.sim.now, ttl=self.cache_ttl, source=source)
         outcome = DiscoveryOutcome(
             dst=dst,

@@ -1,0 +1,40 @@
+"""Shared helpers for the adversarial PMTUD suite.
+
+Scenario worlds are deterministic (seeded sim, seeded nonces, no wall
+clock), so one differential run per scenario is shared across every
+test that inspects it via :func:`differential` — the suite stays fast
+without weakening any assertion.
+"""
+
+import functools
+
+from repro.chaos.attacks import run_attack_scenario
+from repro.net import Topology
+
+DIFF_SEED = 7
+
+
+@functools.lru_cache(maxsize=None)
+def differential(name, seed=DIFF_SEED):
+    """One (hardened, unhardened) result pair per scenario, memoized."""
+    hardened = run_attack_scenario(name, seed=seed, hardened=True)
+    unhardened = run_attack_scenario(name, seed=seed, hardened=False)
+    return hardened, unhardened
+
+
+def star_topology(mtu=1500, delay=0.0005):
+    """client / server / attacker joined through one router.
+
+    The attacker can reach both endpoints and spoof arbitrary source
+    addresses (the links do not verify them), which is all an off-path
+    forger needs.
+    """
+    topo = Topology()
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    attacker = topo.add_host("attacker")
+    router = topo.add_router("r0")
+    for host in (client, server, attacker):
+        topo.link(host, router, mtu=mtu, delay=delay)
+    topo.build_routes()
+    return topo, client, server, attacker

@@ -1,0 +1,74 @@
+"""Detection story: absorbed attacks must still light up the obs layer.
+
+The PR 5 alert engine watches the PMTU-cache miss rate; this PR adds
+rules on the rejected-report and poison-rejection counters.  A
+hardened gateway under attack keeps its datapath intact *and* alerts;
+the benign corpus keeps every PMTUD rule quiet.
+"""
+
+from repro.obs.alerts import adversarial_alert_rules, default_alert_rules
+
+from .conftest import differential
+
+PMTUD_RULES = (
+    "pmtu-cache-miss-spike",
+    "pmtud-rejected-reports",
+    "pmtu-cache-poison-attempts",
+)
+
+
+class TestRuleSet:
+    def test_adversarial_rules_extend_the_defaults(self):
+        base = {rule.name for rule in default_alert_rules("pxgw")}
+        extended = {rule.name for rule in adversarial_alert_rules()}
+        assert base <= extended
+        assert "pmtud-rejected-reports" in extended
+        assert "pmtu-cache-poison-attempts" in extended
+
+    def test_new_rules_are_rate_rules_on_the_new_counters(self):
+        by_name = {rule.name: rule for rule in adversarial_alert_rules()}
+        rejected = by_name["pmtud-rejected-reports"]
+        assert rejected.kind == "rate"
+        assert "px_pmtud_rejected_reports_total" in rejected.series
+        poison = by_name["pmtu-cache-poison-attempts"]
+        assert poison.kind == "rate"
+        assert "px_pmtu_cache_poison_rejected_total" in poison.series
+
+
+class TestAttackVisibility:
+    def test_report_flood_fires_the_pmtud_alerts_while_defended(self):
+        hardened, _ = differential("report-flood-detect")
+        assert not hardened.compromised
+        fired = hardened.alerts["fired"]
+        assert "pmtu-cache-miss-spike" in fired, (
+            f"the PR 5 miss-spike rule missed the flood; fired={fired}"
+        )
+        assert "pmtud-rejected-reports" in fired
+
+    def test_ptb_flood_is_visible_through_poison_rejections(self):
+        hardened, _ = differential("ptb-flood-ratelimit")
+        assert not hardened.compromised
+        # The listeners rejected the flood; the counters the alert rules
+        # watch must show it even if the short window kept rates low.
+        rejected = hardened.notes["ptb_victim"]["rejected"]
+        assert rejected >= 50
+
+    def test_alert_states_cover_every_rule(self):
+        hardened, _ = differential("report-flood-detect")
+        for rule in PMTUD_RULES:
+            assert rule in hardened.alerts["states"]
+
+
+class TestBenignQuiet:
+    def test_benign_corpus_keeps_pmtud_rules_silent(self):
+        hardened, unhardened = differential("benign-control")
+        for result in (hardened, unhardened):
+            for rule in PMTUD_RULES:
+                assert rule not in result.alerts["fired"], (
+                    f"{rule} fired on benign traffic"
+                )
+
+    def test_benign_rejection_counters_stay_zero(self):
+        hardened, _ = differential("benign-control")
+        assert sum(hardened.notes["prober_rejections"].values()) == 0
+        assert hardened.notes["ptb_victim"]["rejected"] == 0

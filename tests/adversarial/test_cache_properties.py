@@ -1,0 +1,142 @@
+"""Property tests for the flow-scoped PMTU cache.
+
+The poisoning defenses are stateful and order-sensitive, so they are
+checked against arbitrary interleavings of learn / expire / invalidate
+/ reconcile rather than hand-picked sequences.  The central invariant:
+under ``per_flow_cache``, nothing one flow learns (or is tricked into
+learning) can shadow what another flow sees.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pmtud import HardeningPolicy
+from repro.resilience import PmtuCache
+
+DST = 9901
+FLOW_A = (6, 101, 40001, DST, 9100)
+FLOW_B = (6, 102, 41001, DST, 9101)
+
+TRUSTS = st.sampled_from(["probe", "icmp", "report", "static"])
+PMTUS = st.integers(min_value=68, max_value=9000)
+SAFE_PMTUS = st.integers(min_value=576, max_value=9000)
+DTS = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+# One op: (kind, trust, pmtu, flow, dt).  Unused fields are ignored by
+# the non-learn kinds, which keeps the shapes uniform and shrinkable.
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["learn", "invalidate-flow", "invalidate-dst",
+                         "reconcile", "lookup"]),
+        TRUSTS,
+        PMTUS,
+        st.sampled_from([FLOW_A, FLOW_B, None]),
+        DTS,
+    ),
+    max_size=40,
+)
+
+
+def apply_ops(cache, ops):
+    """Drive *cache* through *ops* with a monotonic clock; yields now."""
+    now = 0.0
+    for kind, trust, pmtu, flow, dt in ops:
+        now += dt
+        if kind == "learn":
+            cache.learn(DST, pmtu, now, ttl=5.0, source="ptb"
+                        if trust in ("icmp", "report") else "fpmtud",
+                        flow=flow, trust=trust)
+        elif kind == "invalidate-flow" and flow is not None:
+            cache.invalidate(DST, flow=flow)
+        elif kind == "invalidate-dst":
+            cache.invalidate(DST)
+        elif kind == "reconcile":
+            cache.reconcile(DST, max(pmtu, 576), now)
+        elif kind == "lookup":
+            cache.lookup(DST, now, flow=flow)
+        yield now
+
+
+@given(ops=OPS)
+@settings(max_examples=200, deadline=None)
+def test_flow_entries_never_shadow_other_flows(ops):
+    cache = PmtuCache(default_ttl=5.0, policy=HardeningPolicy.hardened())
+    for now in apply_ops(cache, ops):
+        for mine, theirs in ((FLOW_A, FLOW_B), (FLOW_B, FLOW_A)):
+            entry = cache.peek(DST, now, flow=mine)
+            if entry is not None:
+                assert entry.flow in (mine, None), (
+                    f"flow {mine} sees {theirs}'s entry: {entry}"
+                )
+
+
+@given(ops=OPS)
+@settings(max_examples=200, deadline=None)
+def test_unsolicited_learns_never_raise_the_visible_value(ops):
+    cache = PmtuCache(default_ttl=5.0, policy=HardeningPolicy.hardened())
+    now = 0.0
+    for kind, trust, pmtu, flow, dt in ops:
+        now += dt
+        if kind == "learn" and trust in ("icmp", "report"):
+            before = cache.peek(DST, now, flow=flow)
+            cache.learn(DST, pmtu, now, ttl=5.0, source="ptb",
+                        flow=flow, trust=trust)
+            after = cache.peek(DST, now, flow=flow)
+            if before is not None and after is not None:
+                assert after.pmtu <= before.pmtu, (
+                    f"unsolicited {trust} learn of {pmtu} raised the "
+                    f"visible value {before.pmtu} -> {after.pmtu}"
+                )
+        elif kind == "learn":
+            cache.learn(DST, pmtu, now, ttl=5.0, source="fpmtud",
+                        flow=flow, trust=trust)
+        elif kind == "invalidate-dst":
+            cache.invalidate(DST)
+
+
+@given(ops=OPS)
+@settings(max_examples=200, deadline=None)
+def test_unsolicited_learns_respect_the_plausibility_floor(ops):
+    cache = PmtuCache(default_ttl=5.0, policy=HardeningPolicy.hardened())
+    # Re-map solicited learns into the safe band so any sub-576 entry
+    # could only have come from an unsolicited learn slipping through.
+    for index, now in enumerate(apply_ops(cache, [
+        (kind, trust, pmtu if trust in ("icmp", "report") else max(pmtu, 576),
+         flow, dt)
+        for kind, trust, pmtu, flow, dt in ops
+    ])):
+        for flow in (FLOW_A, FLOW_B, None):
+            entry = cache.peek(DST, now, flow=flow)
+            assert entry is None or entry.pmtu >= 576
+
+
+@given(ops=OPS)
+@settings(max_examples=150, deadline=None)
+def test_lookup_accounting_is_conserved(ops):
+    cache = PmtuCache(default_ttl=5.0, policy=HardeningPolicy.hardened())
+    lookups = sum(1 for op in ops if op[0] == "lookup")
+    for _now in apply_ops(cache, ops):
+        pass
+    assert cache.hits + cache.misses == lookups
+
+
+@given(ops=OPS)
+@settings(max_examples=150, deadline=None)
+def test_expired_entries_are_never_returned(ops):
+    cache = PmtuCache(default_ttl=5.0, policy=HardeningPolicy.hardened())
+    now = 0.0
+    for kind, trust, pmtu, flow, dt in ops:
+        now += dt
+        if kind == "learn":
+            cache.learn(DST, pmtu, now, ttl=2.0, source="fpmtud",
+                        flow=flow, trust="probe")
+        entry = cache.lookup(DST, now, flow=flow)
+        assert entry is None or entry.expires_at > now
+
+
+def test_unhardened_cache_has_the_shadowing_bug_by_design():
+    """The contrast case: without per_flow_cache one forged learn for
+    flow B is exactly what flow A's next lookup returns."""
+    cache = PmtuCache(default_ttl=5.0, policy=HardeningPolicy.unhardened())
+    cache.learn(DST, 296, 0.0, source="ptb", flow=FLOW_B, trust="icmp")
+    entry = cache.lookup(DST, 0.1, flow=FLOW_A)
+    assert entry is not None and entry.pmtu == 296

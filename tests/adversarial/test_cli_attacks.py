@@ -1,0 +1,31 @@
+"""The `repro attacks` CLI verb."""
+
+import json
+
+from repro.cli import main
+
+
+def test_single_scenario_table(capsys):
+    rc = main(["attacks", "--scenario", "forged-report-raise"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "forged-report-raise" in out and "defended" in out
+
+
+def test_json_output_is_parseable(capsys):
+    rc = main(["attacks", "--scenario", "benign-control", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    entry = payload[0]
+    assert entry["scenario"] == "benign-control"
+    assert entry["hardened"]["compromised"] is False
+    assert entry["unhardened"]["compromised"] is False
+    assert entry["hardened"]["digest"]
+
+
+def test_unknown_scenario_fails_cleanly(capsys):
+    rc = main(["attacks", "--scenario", "no-such-attack"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "unknown scenario" in err

@@ -1,0 +1,42 @@
+"""Replayability of the attack corpus.
+
+Attack scenarios must be pure functions of (name, seed, hardened):
+same inputs, same packet trace, same digest.  CI runs the corpus twice
+and diffs — these tests are the local version of that gate.
+"""
+
+import pytest
+
+from repro.chaos import run_attack_scenario
+
+# A cheap cross-section: one per attack family plus the control.
+REPLAYED = [
+    "forged-report-raise",
+    "cache-poison-cross-flow",
+    "benign-control",
+]
+
+
+@pytest.mark.parametrize("name", REPLAYED)
+@pytest.mark.parametrize("hardened", [True, False], ids=["hardened", "unhardened"])
+def test_rerun_is_byte_identical(name, hardened):
+    first = run_attack_scenario(name, seed=7, hardened=hardened)
+    second = run_attack_scenario(name, seed=7, hardened=hardened)
+    assert first.digest == second.digest
+    assert first.estimates == second.estimates
+    assert first.compromised == second.compromised
+
+
+def test_result_repr_names_mode_and_verdict():
+    result = run_attack_scenario("benign-control", seed=7, hardened=True)
+    text = repr(result)
+    assert "benign-control" in text and "hardened" in text
+
+
+@pytest.mark.parametrize("name", ["forged-report-raise"])
+def test_different_seeds_do_not_change_the_verdict(name):
+    for seed in (1, 7, 23):
+        hardened = run_attack_scenario(name, seed=seed, hardened=True)
+        unhardened = run_attack_scenario(name, seed=seed, hardened=False)
+        assert not hardened.compromised, f"seed {seed}"
+        assert unhardened.compromised, f"seed {seed}"

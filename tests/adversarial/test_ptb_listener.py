@@ -1,0 +1,155 @@
+"""PtbListener: the hardened bridge from ICMP PTB to the clamp cache."""
+
+import pytest
+
+from repro.packet import ICMPMessage, IPProto, build_icmp, build_tcp
+from repro.pmtud import HardeningPolicy
+from repro.resilience import PmtuCache, PtbListener
+
+from .conftest import star_topology
+
+
+VICTIM_PORT = 40001
+SERVER_PORT = 9100
+
+
+def make_world(policy):
+    topo, client, server, attacker = star_topology()
+    cache = PmtuCache(default_ttl=30.0, policy=policy)
+    listener = PtbListener(client, cache, policy=policy, link_mtu=1500)
+    return topo, client, server, attacker, cache, listener
+
+
+def send_ptb(topo, attacker, victim_ip, mtu, quoted, at=0.0):
+    message = ICMPMessage.frag_needed(mtu, quoted)
+    topo.sim.schedule_at(at, attacker.send,
+                         build_icmp(attacker.ip, victim_ip, message))
+
+
+def quote_flow(src_ip, dst_ip, sport=VICTIM_PORT, dport=SERVER_PORT):
+    return build_tcp(src_ip, dst_ip, sport, dport).to_bytes()
+
+
+class TestHardenedListener:
+    def test_plausible_lowering_is_accepted_flow_scoped(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.hardened())
+        send_ptb(topo, attacker, client.ip, 1100,
+                 quote_flow(client.ip, server.ip))
+        topo.run(until=0.1)
+        assert listener.ptb_accepted == 1
+        flow = (IPProto.TCP, client.ip, VICTIM_PORT, server.ip, SERVER_PORT)
+        entry = cache.peek(server.ip, topo.sim.now, flow=flow)
+        assert entry is not None and entry.pmtu == 1100
+        assert entry.trust == "icmp" and entry.flow == flow
+        # The hint is scoped: other flows to the same destination (and
+        # the wildcard) are untouched.
+        assert cache.peek(server.ip, topo.sim.now) is None
+
+    def test_quoted_inner_source_must_be_ours(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.hardened())
+        # The forger quotes its own flow, not the victim's.
+        send_ptb(topo, attacker, client.ip, 1100,
+                 quote_flow(attacker.ip, server.ip))
+        topo.run(until=0.1)
+        assert listener.ptb_accepted == 0
+        assert listener.rejections == {"inner-src": 1}
+        assert len(cache) == 0
+
+    @pytest.mark.parametrize("mtu", [296, 512])
+    def test_sub_plausible_hints_rejected(self, mtu):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.hardened())
+        send_ptb(topo, attacker, client.ip, mtu,
+                 quote_flow(client.ip, server.ip))
+        topo.run(until=0.1)
+        assert listener.rejections == {"bounds": 1}
+        assert len(cache) == 0
+
+    def test_hints_above_link_mtu_rejected(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.hardened())
+        send_ptb(topo, attacker, client.ip, 8996,
+                 quote_flow(client.ip, server.ip))
+        topo.run(until=0.1)
+        assert listener.rejections == {"bounds": 1}
+
+    def test_hintless_ptb_rejected(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.hardened())
+        send_ptb(topo, attacker, client.ip, 0,
+                 quote_flow(client.ip, server.ip))
+        topo.run(until=0.1)
+        assert listener.rejections == {"no-hint": 1}
+
+    def test_flood_is_rate_limited(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.hardened())
+        # Forty descending (always-lowering) hints inside 40 ms: only
+        # the burst allowance plus a token or so can land.
+        for index in range(40):
+            send_ptb(topo, attacker, client.ip, 1400 - 5 * index,
+                     quote_flow(client.ip, server.ip), at=index * 1e-3)
+        topo.run(until=0.5)
+        assert listener.ptb_received == 40
+        assert listener.ptb_accepted <= 6
+        assert listener.rejections["rate-limited"] >= 30
+
+    def test_raise_over_probe_learned_entry_rejected(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.hardened())
+        cache.learn(server.ip, 1280, 0.0, source="fpmtud")  # solicited
+        send_ptb(topo, attacker, client.ip, 1400,
+                 quote_flow(client.ip, server.ip))
+        topo.run(until=0.1)
+        assert listener.rejections == {"raise": 1}
+        assert cache.poison_rejected == 1
+        assert cache.peek(server.ip, topo.sim.now).pmtu == 1280
+
+    def test_lowering_under_probe_learned_entry_accepted(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.hardened())
+        cache.learn(server.ip, 1280, 0.0, source="fpmtud")
+        send_ptb(topo, attacker, client.ip, 1000,
+                 quote_flow(client.ip, server.ip))
+        topo.run(until=0.1)
+        assert listener.ptb_accepted == 1  # lowering is fail-safe
+
+
+class TestUnhardenedListener:
+    def test_one_forged_ptb_poisons_every_flow(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.unhardened())
+        # Wrong inner source, implausible value — accepted anyway.
+        send_ptb(topo, attacker, client.ip, 296,
+                 quote_flow(attacker.ip, server.ip))
+        topo.run(until=0.1)
+        assert listener.ptb_accepted == 1
+        entry = cache.peek(server.ip, topo.sim.now)
+        assert entry is not None and entry.pmtu == 296
+        # Stored under the destination wildcard: every flow sharing the
+        # address sees the poison.
+        assert entry.flow is None
+
+    def test_raise_accepted_by_trusting_cache(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.unhardened())
+        cache.learn(server.ip, 1280, 0.0, source="fpmtud")
+        send_ptb(topo, attacker, client.ip, 1496,
+                 quote_flow(client.ip, server.ip))
+        topo.run(until=0.1)
+        assert listener.ptb_accepted == 1
+        assert cache.peek(server.ip, topo.sim.now).pmtu == 1496
+
+    def test_summary_counts_by_reason(self):
+        topo, client, server, attacker, cache, listener = make_world(
+            HardeningPolicy.hardened())
+        send_ptb(topo, attacker, client.ip, 296,
+                 quote_flow(client.ip, server.ip), at=0.0)
+        send_ptb(topo, attacker, client.ip, 1100,
+                 quote_flow(attacker.ip, server.ip), at=0.01)
+        topo.run(until=0.1)
+        summary = listener.summary()
+        assert summary["received"] == 2 and summary["accepted"] == 0
+        assert summary["rejections"] == {"bounds": 1, "inner-src": 1}

@@ -1,0 +1,92 @@
+"""Regression: a poisoned cache entry must not outlive a contradicting probe.
+
+The original fallback chain wrote its measurement under the wildcard
+key and walked away.  A flow-scoped entry poisoned earlier (forged PTB
+accepted as a plausible lowering — lowering is deliberately fail-safe)
+kept winning that flow's lookups until its TTL ran out: the datapath
+kept micro-splitting at the forged size *after* a fresh probe had
+measured the truth.  ``ResilientPmtud._finish`` now reconciles the
+cache — every live entry contradicted by the measurement is dropped.
+"""
+
+from repro.net import Topology
+from repro.pmtud import FPmtudDaemon, FPmtudProber, HardeningPolicy, Plpmtud
+from repro.resilience import PmtuCache, ResilientPmtud
+
+DST = 77
+FLOW = (6, 1, 40001, DST, 9100)
+
+
+class TestCacheReconcile:
+    def test_contradicted_entries_dropped(self):
+        cache = PmtuCache(default_ttl=30.0, policy=HardeningPolicy.hardened())
+        cache.learn(DST, 600, 0.0, source="ptb", flow=FLOW, trust="icmp")
+        dropped = cache.reconcile(DST, 1276, 0.1)
+        assert dropped == 1
+        assert cache.contradictions == 1
+        assert cache.peek(DST, 0.2, flow=FLOW) is None
+
+    def test_agreeing_entries_survive(self):
+        cache = PmtuCache(default_ttl=30.0, policy=HardeningPolicy.hardened())
+        cache.learn(DST, 1276, 0.0, source="ptb", flow=FLOW, trust="icmp")
+        assert cache.reconcile(DST, 1276, 0.1) == 0
+        assert cache.peek(DST, 0.2, flow=FLOW) is not None
+
+    def test_other_destinations_untouched(self):
+        cache = PmtuCache(default_ttl=30.0, policy=HardeningPolicy.hardened())
+        cache.learn(DST, 600, 0.0, source="ptb", flow=FLOW, trust="icmp")
+        cache.learn(DST + 1, 600, 0.0, source="ptb", trust="icmp")
+        assert cache.reconcile(DST, 1276, 0.1) == 1
+        assert cache.peek(DST + 1, 0.2) is not None
+
+    def test_expired_entries_not_counted_as_contradictions(self):
+        cache = PmtuCache(default_ttl=30.0, policy=HardeningPolicy.hardened())
+        cache.learn(DST, 600, 0.0, ttl=1.0, source="ptb", flow=FLOW,
+                    trust="icmp")
+        assert cache.reconcile(DST, 1276, 5.0) == 0
+
+
+class TestDiscoveryReconcilesPoison:
+    def build_world(self):
+        topo = Topology()
+        client = topo.add_host("client")
+        server = topo.add_host("server")
+        router = topo.add_router("r0")
+        topo.link(client, router, mtu=1500, delay=0.0005)
+        topo.link(router, server, mtu=1280, delay=0.0005)
+        topo.build_routes()
+        policy = HardeningPolicy.hardened()
+        cache = PmtuCache(default_ttl=30.0, policy=policy)
+        FPmtudDaemon(server)
+        prober = FPmtudProber(client, policy=policy, link_mtu=1500)
+        plpmtud = Plpmtud(client, policy=policy)
+        resilient = ResilientPmtud(client, cache=cache, prober=prober,
+                                   plpmtud=plpmtud, fpmtud_timeout=0.3)
+        return topo, client, server, cache, resilient
+
+    def test_probe_evicts_the_stale_poison(self):
+        topo, client, server, cache, resilient = self.build_world()
+        flow = (6, client.ip, 40001, server.ip, 9100)
+        # The poison: a forged-but-plausible lowering the hardened stack
+        # accepts by design (fail-safe), scoped to the victim flow.
+        cache.learn(server.ip, 600, 0.0, source="ptb", flow=flow,
+                    trust="icmp")
+        # Reproduce the reuse first: until a probe says otherwise, the
+        # datapath sizing this flow reads 600 B from the cache.
+        assert cache.lookup(server.ip, 0.0, flow=flow).pmtu == 600
+
+        outcomes = []
+        topo.sim.schedule_at(0.001, resilient.discover, server.ip, 1500,
+                             outcomes.append)
+        topo.run(until=2.0)
+
+        assert outcomes and outcomes[0].source == "fpmtud"
+        measured = outcomes[0].pmtu
+        assert 1272 <= measured <= 1280  # 8-aligned fragments of the 1280 hop
+        # The regression assertion: the poisoned flow entry is gone and
+        # the flow now sees the measured wildcard value.
+        assert cache.contradictions >= 1
+        entry = cache.peek(server.ip, topo.sim.now, flow=flow)
+        assert entry is not None and entry.pmtu == measured
+        assert any(step.startswith("cache-reconciled") for step in
+                   outcomes[0].trail)

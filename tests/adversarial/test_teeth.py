@@ -1,0 +1,69 @@
+"""Teeth tests: prove the oracle would catch a silently-broken defense.
+
+An adversarial suite whose oracle never fires on a real failure is
+decoration.  Here the defenses are deliberately switched off and the
+``check_pmtu_sanity`` oracle must flag the resulting mis-sized
+estimates — the same check that stays silent across the hardened
+corpus in test_differential.py.
+"""
+
+from repro.chaos import run_attack_scenario
+from repro.chaos.oracle import InvariantOracle
+
+
+class TestOracleUnit:
+    def test_flags_estimates_outside_the_plausible_band(self):
+        oracle = InvariantOracle()
+        oracle.check_pmtu_sanity([8996], true_min_mtu=1280, link_mtu=1500)
+        assert any("pmtu-sanity" in violation for violation in
+                   oracle.violations)
+
+    def test_flags_sub_floor_estimates(self):
+        oracle = InvariantOracle()
+        oracle.check_pmtu_sanity([296], true_min_mtu=1280, link_mtu=1500)
+        assert oracle.violations
+
+    def test_flags_final_estimate_above_true_minimum(self):
+        # 1496 is inside [576, 1500] but above the 1280 bottleneck:
+        # acting on it blackholes full-sized packets.
+        oracle = InvariantOracle()
+        oracle.check_pmtu_sanity([1276, 1496], true_min_mtu=1280,
+                                 link_mtu=1500)
+        assert any("true path minimum" in violation for violation in
+                   oracle.violations)
+
+    def test_honest_estimates_pass(self):
+        oracle = InvariantOracle()
+        oracle.check_pmtu_sanity([1276], true_min_mtu=1280, link_mtu=1500)
+        assert oracle.violations == []
+
+    def test_empty_estimates_pass(self):
+        oracle = InvariantOracle()
+        oracle.check_pmtu_sanity([], true_min_mtu=1280, link_mtu=1500)
+        assert oracle.violations == []
+
+
+class TestDefensesOffOracleOn:
+    def test_forged_report_inflation_is_flagged(self):
+        # Nonce validation (and every other defense) off: the forged
+        # 1496 B report is accepted, and the oracle — not the defense —
+        # must be what catches the mis-sizing.
+        result = run_attack_scenario("forged-report-raise", seed=7,
+                                     hardened=False)
+        assert result.compromised
+        assert result.notes["sanity_violations"], (
+            "the unhardened stack accepted a forged estimate but "
+            "check_pmtu_sanity stayed silent — the oracle has no teeth"
+        )
+
+    def test_absurd_report_is_flagged(self):
+        result = run_attack_scenario("forged-report-absurd", seed=7,
+                                     hardened=False)
+        assert result.compromised
+        assert result.notes["sanity_violations"]
+
+    def test_classical_collapse_is_flagged(self):
+        result = run_attack_scenario("classical-ptb-collapse", seed=7,
+                                     hardened=False)
+        assert result.compromised
+        assert result.notes["sanity_violations"]
