@@ -1,9 +1,16 @@
 # Developer conveniences. The library itself has no build step.
 
-.PHONY: test bench bench-paper docs examples lint
+.PHONY: test bench bench-paper docs examples lint ops
 
 test:
 	pytest tests/ -q
+
+ops:  ## canary/incident suite + corpus verdicts with determinism diff
+	pytest tests/ops -q
+	python -m repro canary --corpus
+	python -m repro canary --corpus --json --out /tmp/repro_corpus_a.json
+	python -m repro canary --corpus --json --out /tmp/repro_corpus_b.json
+	cmp /tmp/repro_corpus_a.json /tmp/repro_corpus_b.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

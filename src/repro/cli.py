@@ -152,6 +152,25 @@ def build_parser() -> argparse.ArgumentParser:
     attacks.add_argument("--seed", type=int, default=7)
     attacks.add_argument("--json", action="store_true",
                          help="emit full results as JSON instead of a table")
+
+    canary = commands.add_parser(
+        "canary",
+        help="run a twin-world canary deploy (baseline vs candidate "
+             "under identical offered load) and print the staged "
+             "promote/rollback verdict",
+    )
+    canary.add_argument("--incident", default="benign-candidate",
+                        help="named incident from the corpus "
+                             "(default: benign-candidate)")
+    canary.add_argument("--corpus", action="store_true",
+                        help="run every incident and check each verdict "
+                             "against its expectation")
+    canary.add_argument("--seed", type=int, default=0)
+    canary.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON instead of "
+                             "a table")
+    canary.add_argument("--out", default=None,
+                        help="write the output here instead of stdout")
     return parser
 
 
@@ -589,9 +608,75 @@ def _cmd_attacks(args) -> int:
     return 1 if bad else 0
 
 
+def _canary_evidence(report: dict) -> str:
+    """One-line evidence summary for the failing stage (or '-')."""
+    for stage in report["stages"]:
+        if stage["status"] == "fail":
+            cited = list(stage["alerts"])
+            cited += [b["guardrail"] for b in stage["guardrail_breaches"]]
+            return f"{stage['name']}: {', '.join(cited)}"
+    return "-"
+
+
+def _cmd_canary(args) -> int:
+    from .ops import incident_names, run_corpus, run_incident
+    from .ops.canary import report_to_json
+
+    if args.corpus:
+        corpus = run_corpus(seed=args.seed)
+        if args.json:
+            _emit_text(report_to_json(corpus), args.out, "canary corpus report")
+        else:
+            lines = [f"{'incident':34s} {'verdict':12s} {'expected':12s} "
+                     f"{'evidence':44s} ok"]
+            for report in corpus["incidents"]:
+                lines.append(
+                    f"{report['incident']:34s} {report['verdict']:12s} "
+                    f"{report['expected']:12s} {_canary_evidence(report):44s} "
+                    f"{'ok' if report['ok'] else 'MISMATCH'}"
+                )
+            _emit_text("\n".join(lines), args.out, "canary corpus table")
+        return 0 if corpus["ok"] else 1
+
+    if args.incident not in incident_names():
+        print(f"unknown incident {args.incident!r}; "
+              f"have {list(incident_names())}", file=sys.stderr)
+        return 2
+    report = run_incident(args.incident, seed=args.seed)
+    if args.json:
+        _emit_text(report_to_json(report), args.out, "canary report")
+    else:
+        lines = [
+            f"incident : {report['incident']} (expected {report['expected']})",
+            f"baseline : {report['baseline']['name']}",
+            f"candidate: {report['candidate']['name']}",
+            f"{'stage':12s} {'fraction':>8s} {'horizon':>8s} {'status':12s} "
+            f"evidence",
+        ]
+        for stage in report["stages"]:
+            cited = list(stage["alerts"])
+            cited += [b["guardrail"] for b in stage["guardrail_breaches"]]
+            lines.append(
+                f"{stage['name']:12s} {stage['fraction']:8.0%} "
+                f"{stage['observe_until']:7.1f}s {stage['status']:12s} "
+                f"{', '.join(cited) if cited else '-'}"
+            )
+        lines.append(f"verdict  : {report['verdict']}")
+        if report["rollback"] is not None:
+            rollback = report["rollback"]
+            lines.append(
+                f"rollback : {rollback['mechanism']} "
+                f"(zero_loss={rollback['zero_loss']}, "
+                f"takeovers={rollback['takeovers']})"
+            )
+        _emit_text("\n".join(lines), args.out, "canary report")
+    return 1 if report["verdict"] == "ROLLED_BACK" else 0
+
+
 _COMMANDS = {
     "gateway": _cmd_gateway,
     "attacks": _cmd_attacks,
+    "canary": _cmd_canary,
     "pmtud": _cmd_pmtud,
     "upf": _cmd_upf,
     "survey": _cmd_survey,

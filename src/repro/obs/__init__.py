@@ -52,7 +52,12 @@ from .registry import (
 from .spans import LATENCY_BUCKETS, LATENCY_METRICS, Span, SpanTracker
 from .timeline import TelemetryTimeline
 from .tracer import FlowTracer
-from .world import ObservedWorld, run_observed_world
+from .world import (
+    ObservedWorld,
+    WorkloadSchedule,
+    default_workload_schedule,
+    run_observed_world,
+)
 
 __all__ = [
     "AlertEngine",
@@ -80,4 +85,6 @@ __all__ = [
     "observe_upf",
     "record_bench_report",
     "run_observed_world",
+    "WorkloadSchedule",
+    "default_workload_schedule",
 ]

@@ -40,6 +40,17 @@ _OPS = {
 
 _KINDS = ("value", "rate", "ratio", "sum")
 
+#: Human-readable labels for every legal state edge.  ``firing → ok``
+#: *is* the resolution; ``pending → ok`` means the condition cleared
+#: before the for-duration elapsed (never fired).
+_EDGES = {
+    (OK, PENDING): "pending",
+    (OK, FIRING): "fired",
+    (PENDING, FIRING): "fired",
+    (PENDING, OK): "cleared",
+    (FIRING, OK): "resolved",
+}
+
 
 @dataclass(frozen=True)
 class AlertRule:
@@ -193,14 +204,59 @@ class AlertEngine:
         return [t for t in self.transitions
                 if t["from"] == FIRING and t["to"] == OK]
 
+    def history(self, rule: Optional[str] = None) -> List[dict]:
+        """The deterministic sim-time transition history, with edges.
+
+        Every recorded transition, in evaluation order, annotated with
+        a global sequence number and the edge label (``pending`` /
+        ``fired`` / ``resolved`` / ``cleared``) — the evidence format
+        canary verdicts cite.  Flapping sequences (resolved →
+        re-pending → re-fired) appear in full: the engine records one
+        entry per state change and never coalesces repeats.  *rule*
+        filters to one rule while keeping global sequence numbers.
+        """
+        entries = []
+        for seq, transition in enumerate(self.transitions):
+            if rule is not None and transition["rule"] != rule:
+                continue
+            entry = dict(transition)
+            entry["seq"] = seq
+            entry["edge"] = _EDGES[(transition["from"], transition["to"])]
+            entries.append(entry)
+        return entries
+
+    def states_at(self, time: float) -> Dict[str, str]:
+        """Every rule's state as of sim *time* (inclusive), by name.
+
+        Reconstructed from the transition log, so it works on finished
+        engines — the canary controller replays the log to evaluate
+        each rollout stage retrospectively at its observation horizon.
+        """
+        states = {rule.name: OK for rule in self.rules}
+        for transition in self.transitions:
+            if transition["time"] <= time:
+                states[transition["rule"]] = transition["to"]
+        return dict(sorted(states.items()))
+
+    def firing_at(self, time: float) -> List[str]:
+        """Names of rules in FIRING state as of sim *time*."""
+        return sorted(name for name, state in self.states_at(time).items()
+                      if state == FIRING)
+
+    def fired_by(self, time: float) -> List[str]:
+        """Names of rules that entered FIRING at or before sim *time*."""
+        return sorted({t["rule"] for t in self.transitions
+                       if t["to"] == FIRING and t["time"] <= time})
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def to_json(self, indent: Optional[int] = None) -> str:
-        """Byte-deterministic JSON: rules, transitions, final states."""
+        """Byte-deterministic JSON: rules, history, final states."""
         payload = {
             "rules": [rule.to_dict() for rule in self.rules],
             "transitions": self.transitions,
+            "history": self.history(),
             "states": self.states(),
             "evaluations": self.evaluations,
         }

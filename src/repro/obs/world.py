@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .collectors import (
     Observability,
@@ -39,13 +39,110 @@ from .collectors import (
 )
 from .tracer import FlowTracer
 
-__all__ = ["ObservedWorld", "run_observed_world"]
+__all__ = ["ObservedWorld", "WorkloadSchedule", "default_workload_schedule",
+           "run_observed_world", "INTERNAL_MTU", "EXTERNAL_MTU"]
 
 _IMTU = 9000
 _EMTU = 1500
+#: Physical link MTUs of the observed topology.  These are properties
+#: of the *environment*, not of the deployed gateway: an injected
+#: ``GatewayConfig`` may believe different MTUs (that mismatch is
+#: exactly what the ops canary is designed to catch), but the wire
+#: stays 9000 B inside / 1500 B outside.
+INTERNAL_MTU = _IMTU
+EXTERNAL_MTU = _EMTU
 _PROBER_PORT = 52002
 #: Packets at or below this size hairpin past the RX rings (mice).
 _HAIRPIN_CUTOFF = 128
+
+
+@dataclass(frozen=True)
+class WorkloadSchedule:
+    """A deterministic offered-load script for the observed world.
+
+    The schedule is pure data — payload bytes and sim-time instants —
+    so two worlds built from the *same* schedule see byte-identical
+    offered load regardless of how their gateways are configured.
+    That property is what makes twin-world comparisons
+    (:mod:`repro.ops`) meaningful: any metric divergence between twins
+    is attributable to the deployment, not the workload.
+
+    ``inbound_bursts`` entries are ``(at, start, count)``: at sim time
+    ``at``, send ``inbound_payloads[start:start + count]`` as plain UDP
+    datagrams from the outside host (the gateway builds caravans).
+    ``takeover_at``/``probe_at`` may be ``None`` to skip the failover
+    takeover or the F-PMTUD probe entirely.
+    """
+
+    seed: int = 0
+    download_bytes: int = 48_000
+    upload_bytes: int = 24_000
+    inbound_payloads: Tuple[bytes, ...] = ()
+    inbound_bursts: Tuple[Tuple[float, int, int], ...] = ()
+    outbound_payloads: Tuple[bytes, ...] = ()
+    outbound_at: float = 0.70
+    probe_at: Optional[float] = 0.40
+    takeover_at: Optional[float] = 0.9
+    settle_until: float = 0.2
+    horizon: float = 3.0
+
+    def offered_bytes(self) -> int:
+        """Total application bytes this schedule offers (both ways)."""
+        return (self.download_bytes + self.upload_bytes
+                + sum(len(p) for p in self.inbound_payloads)
+                + sum(len(p) for p in self.outbound_payloads))
+
+    def to_dict(self) -> dict:
+        """A JSON-safe description (payload *sizes*, not bytes)."""
+        return {
+            "seed": self.seed,
+            "download_bytes": self.download_bytes,
+            "upload_bytes": self.upload_bytes,
+            "inbound_datagrams": len(self.inbound_payloads),
+            "inbound_bursts": [list(b) for b in self.inbound_bursts],
+            "outbound_datagrams": len(self.outbound_payloads),
+            "outbound_at": self.outbound_at,
+            "probe_at": self.probe_at,
+            "takeover_at": self.takeover_at,
+            "settle_until": self.settle_until,
+            "horizon": self.horizon,
+            "offered_bytes": self.offered_bytes(),
+        }
+
+
+def default_workload_schedule(seed: int = 0, scale: float = 1.0,
+                              jitter: float = 0.0) -> WorkloadSchedule:
+    """The canonical observed-world workload, as reusable data.
+
+    At ``scale=1.0, jitter=0.0`` this reproduces the exact workload the
+    observed world has always run (the default path stays
+    byte-identical).  ``scale`` multiplies transfer sizes; ``jitter``
+    perturbs the burst/probe instants by up to ``±jitter`` seconds,
+    seeded from *seed*, for schedule-sensitivity studies.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    if jitter < 0:
+        raise ValueError("jitter must be >= 0")
+    in_size = max(1, int(500 * scale))
+    out_size = max(1, int(600 * scale))
+    times = {"in0": 0.30, "in1": 0.60, "out": 0.70, "probe": 0.40}
+    if jitter:
+        rng = random.Random(f"workload:{seed}")
+        times = {key: round(at + rng.uniform(-jitter, jitter), 9)
+                 for key, at in sorted(times.items())}
+    return WorkloadSchedule(
+        seed=seed,
+        download_bytes=int(48_000 * scale),
+        upload_bytes=int(24_000 * scale),
+        inbound_payloads=tuple(
+            bytes([1, i & 0xFF]) * in_size for i in range(24)),
+        inbound_bursts=((times["in0"], 0, 12), (times["in1"], 12, 12)),
+        outbound_payloads=tuple(
+            bytes([2, i & 0xFF]) * out_size for i in range(12)),
+        outbound_at=times["out"],
+        probe_at=times["probe"],
+    )
 
 
 @dataclass
@@ -70,6 +167,15 @@ class ObservedWorld:
     #: The timeline's AlertEngine with its recorded transitions.
     alerts: object = None
     notes: Dict[str, object] = field(default_factory=dict)
+    #: The four directed links by role: ``int_out`` (inside→gateway),
+    #: ``int_in``, ``ext_out`` (gateway→outside), ``ext_in``.
+    links: Dict[str, object] = field(default_factory=dict)
+    #: Registry snapshots captured at the requested ``snapshot_at``
+    #: instants, keyed by sim time.
+    snapshots: Dict[float, Dict[str, float]] = field(default_factory=dict)
+    #: The deployed GatewayConfig and the workload script that ran.
+    config: object = None
+    schedule: object = None
 
 
 class _NicFrontend:
@@ -153,10 +259,15 @@ def _run_upf(rng: random.Random) -> object:
 
 def run_observed_world(
     seed: int = 0,
-    until: float = 3.0,
+    until: Optional[float] = None,
     tracer_capacity: int = 8192,
     registry=None,
     scrape_interval: float = 0.05,
+    config=None,
+    schedule: Optional[WorkloadSchedule] = None,
+    alert_rules=None,
+    mutate: Optional[Callable[["ObservedWorld"], None]] = None,
+    snapshot_at: Sequence[float] = (),
 ) -> ObservedWorld:
     """Build and run the observed world for *seed*; returns it populated.
 
@@ -166,6 +277,17 @@ def run_observed_world(
     registry every ``scrape_interval`` sim-seconds, and an
     :class:`AlertEngine` running :func:`default_alert_rules` at each
     scrape.  All exports are byte-identical across same-seed runs.
+
+    The deployment and the offered load are injectable for twin-world
+    comparisons (:mod:`repro.ops`): *config* deploys an alternative
+    :class:`~repro.core.GatewayConfig` on the unchanged physical
+    topology, *schedule* supplies the workload script (default:
+    :func:`default_workload_schedule`), *alert_rules* replaces the
+    stock SLO rules, *snapshot_at* captures registry snapshots at the
+    given sim instants into ``world.snapshots``, and *mutate* is called
+    with the constructed world after everything is scheduled but before
+    any traffic runs — the hook point for fault/attack environments.
+    All defaults leave the run byte-identical to the historical one.
     """
     from ..core import GatewayConfig, PXGateway
     from ..net import Topology
@@ -178,6 +300,10 @@ def run_observed_world(
     from .timeline import TelemetryTimeline
 
     rng = random.Random(f"obs-world:{seed}")
+    if schedule is None:
+        schedule = default_workload_schedule(seed)
+    if until is None:
+        until = schedule.horizon
     obs = Observability(
         registry=registry,
         tracer=FlowTracer(tracer_capacity),
@@ -187,23 +313,27 @@ def run_observed_world(
     topo = Topology(seed=880_000 + seed)
     inside = topo.add_host("inside")
     outside = topo.add_host("outside")
-    config = GatewayConfig(
-        imtu=_IMTU, emtu=_EMTU,
-        elephant_threshold_packets=2, header_only_dma=True,
-    )
+    if config is None:
+        config = GatewayConfig(
+            imtu=_IMTU, emtu=_EMTU,
+            elephant_threshold_packets=2, header_only_dma=True,
+        )
     gateway = PXGateway(topo.sim, "pxgw", config=config)
     topo.add_node(gateway)
     topo.link(inside, gateway, mtu=_IMTU, bandwidth_bps=10e9, delay=5e-5)
     topo.link(gateway, outside, mtu=_EMTU, bandwidth_bps=10e9, delay=5e-5)
     topo.build_routes()
-    _, gw_iface, int_out, _int_in = topo.edge(inside, gateway)
+    _, gw_iface, int_out, int_in = topo.edge(inside, gateway)
+    _, _, ext_out, ext_in = topo.edge(gateway, outside)
     gateway.mark_internal(gw_iface)
     gateway.enable_resilience()
     gateway.attach_observability(obs)
 
     # The in-sim scraper + SLO alerting, started before any traffic so
     # the first window sees the ramp-up.
-    alerts = AlertEngine(default_alert_rules(gateway="pxgw"))
+    if alert_rules is None:
+        alert_rules = default_alert_rules(gateway="pxgw")
+    alerts = AlertEngine(alert_rules)
     timeline = TelemetryTimeline(
         topo.sim, obs.registry, interval=scrape_interval, alerts=alerts
     ).start()
@@ -213,7 +343,8 @@ def run_observed_world(
     # the transfers.
     failover = FailoverManager(gateway, interval=0.25).start()
     observe_failover(obs, failover)
-    topo.sim.schedule_at(0.9, failover.takeover)
+    if schedule.takeover_at is not None:
+        topo.sim.schedule_at(schedule.takeover_at, failover.takeover)
 
     # NIC front-end on the inside→gateway link.
     rss = RssDistributor(queues=4)
@@ -225,7 +356,7 @@ def run_observed_world(
     observe_nic(obs, queues=queues, hairpin=hairpin, rss=rss)
 
     # TCP both ways: download exercises merge, upload exercises split.
-    download, upload = 48_000, 24_000
+    download, upload = schedule.download_bytes, schedule.upload_bytes
     down_listener = TCPListener(outside, 80, mss=_EMTU - 40)
     up_listener = TCPListener(outside, 9100, mss=_EMTU - 40)
     down = TCPConnection(inside, 40000, outside.ip, 80, mss=_IMTU - 40)
@@ -239,17 +370,18 @@ def run_observed_world(
     received_out: List[bytes] = []
     inside.on_udp(4433, lambda p, h: received_in.append(p.payload))
     outside.on_udp(5544, lambda p, h: received_out.append(p.payload))
-    burst_in = [bytes([1, i & 0xFF]) * 500 for i in range(24)]
-    burst_out = [bytes([2, i & 0xFF]) * 600 for i in range(12)]
+    burst_in = schedule.inbound_payloads
 
-    def inbound_burst(start: int) -> None:
-        for payload in burst_in[start:start + 12]:
+    def inbound_burst(start: int, count: int) -> None:
+        for payload in burst_in[start:start + count]:
             outside.send_udp(inside.ip, 4433, 4433, payload)
 
-    topo.sim.schedule_at(0.30, inbound_burst, 0)
-    topo.sim.schedule_at(0.60, inbound_burst, 12)
-    topo.sim.schedule_at(0.70, inside.send_udp_bulk,
-                         outside.ip, 5544, 5544, burst_out)
+    for burst_at, start, count in schedule.inbound_bursts:
+        topo.sim.schedule_at(burst_at, inbound_burst, start, count)
+    if schedule.outbound_payloads:
+        topo.sim.schedule_at(schedule.outbound_at, inside.send_udp_bulk,
+                             outside.ip, 5544, 5544,
+                             list(schedule.outbound_payloads))
 
     # F-PMTUD across the gateway: the probe fragments on the eMTU link.
     daemon = FPmtudDaemon(outside)
@@ -258,14 +390,53 @@ def run_observed_world(
     prober.spans = obs.spans
     observe_pmtud(obs, prober=prober, daemon=daemon)
     pmtud_results: list = []
-    topo.sim.schedule_at(
-        0.40, prober.probe, outside.ip, _IMTU, pmtud_results.append
+    if schedule.probe_at is not None:
+        topo.sim.schedule_at(
+            schedule.probe_at, prober.probe, outside.ip, _IMTU,
+            pmtud_results.append,
+        )
+
+    world = ObservedWorld(
+        seed=seed,
+        obs=obs,
+        topo=topo,
+        gateway=gateway,
+        inside=inside,
+        outside=outside,
+        upf=None,
+        prober=prober,
+        daemon=daemon,
+        failover=failover,
+        rss=rss,
+        queues=queues,
+        hairpin=hairpin,
+        timeline=timeline,
+        alerts=alerts,
+        links={"int_out": int_out, "int_in": int_in,
+               "ext_out": ext_out, "ext_in": ext_in},
+        config=config,
+        schedule=schedule,
     )
 
+    # Mid-run registry snapshots (for staged guardrail evaluation) and
+    # the environment hook.  Both are no-ops on the default path, so
+    # the historical event-sequence numbering — and with it every
+    # pinned digest — is untouched.
+    if snapshot_at:
+        def capture(instant: float) -> None:
+            world.snapshots[instant] = obs.registry.snapshot()
+
+        for instant in snapshot_at:
+            topo.sim.schedule_at(instant, capture, instant)
+    if mutate is not None:
+        mutate(world)
+
     # Let the handshakes settle, then start the bulk transfers.
-    topo.run(until=0.2)
-    down_listener.connections[0].send_bulk(download)
-    up.send_bulk(upload)
+    topo.run(until=schedule.settle_until)
+    if download:
+        down_listener.connections[0].send_bulk(download)
+    if upload:
+        up.send_bulk(upload)
     topo.run(until=until)
 
     # Stop the scraper before the out-of-sim UPF exercise so the last
@@ -276,28 +447,13 @@ def run_observed_world(
     upf = _run_upf(rng)
     observe_upf(obs, upf)
 
-    return ObservedWorld(
-        seed=seed,
-        obs=obs,
-        topo=topo,
-        gateway=gateway,
-        inside=inside,
-        outside=outside,
-        upf=upf,
-        prober=prober,
-        daemon=daemon,
-        failover=failover,
-        rss=rss,
-        queues=queues,
-        hairpin=hairpin,
-        timeline=timeline,
-        alerts=alerts,
-        notes={
-            "downloaded": down.bytes_delivered,
-            "uploaded": up_listener.connections[0].bytes_delivered
-            if up_listener.connections else 0,
-            "datagrams_in": len(received_in),
-            "datagrams_out": len(received_out),
-            "pmtu": pmtud_results[-1].pmtu if pmtud_results else None,
-        },
-    )
+    world.upf = upf
+    world.notes = {
+        "downloaded": down.bytes_delivered,
+        "uploaded": up_listener.connections[0].bytes_delivered
+        if up_listener.connections else 0,
+        "datagrams_in": len(received_in),
+        "datagrams_out": len(received_out),
+        "pmtu": pmtud_results[-1].pmtu if pmtud_results else None,
+    }
+    return world

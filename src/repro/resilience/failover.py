@@ -142,6 +142,7 @@ class FailoverManager:
         self,
         standby: Optional[GatewayWorker] = None,
         fresh_checkpoint: bool = True,
+        reason: str = "failover",
     ) -> GatewayWorker:
         """Swap in *standby* (or a fresh worker) from the checkpoint.
 
@@ -149,7 +150,10 @@ class FailoverManager:
         live worker is checkpointed at this instant, so nothing at all
         is lost.  Without it (the crash case) the standby resumes from
         the last periodic capture and end-to-end retransmission covers
-        the staleness window.  Returns the replaced worker.
+        the staleness window.  *reason* is recorded on the trace event
+        so planned swaps (canary rollbacks, maintenance) are
+        distinguishable from crash recovery.  Returns the replaced
+        worker.
         """
         gateway = self.gateway
         checkpoint = self.checkpoint_now() if fresh_checkpoint else self.last_checkpoint
@@ -169,7 +173,7 @@ class FailoverManager:
             gateway.obs.trace(
                 self.sim.now, "failover-takeover",
                 gateway=gateway.name, to_worker=standby.index,
-                flushed=len(flushed),
+                flushed=len(flushed), reason=reason,
                 checkpoint_age=self.sim.now - checkpoint.taken_at,
             )
         return old

@@ -138,6 +138,93 @@ def test_to_json_deterministic():
     assert [t["to"] for t in dwell] == [PENDING, FIRING, OK]
 
 
+def test_for_duration_boundary_equality_fires():
+    # The dwell comparison is >=: reaching the boundary exactly fires,
+    # one tick short does not.
+    engine = AlertEngine((
+        AlertRule(name="edge", series="s", op=">=", threshold=1,
+                  for_duration=0.25),
+    ))
+    engine.evaluate(1.00, {"s": 1.0})
+    assert engine.state("edge") == PENDING
+    engine.evaluate(1.2499999, {"s": 1.0})     # strictly below the dwell
+    assert engine.state("edge") == PENDING
+    engine.evaluate(1.25, {"s": 1.0})          # now - since == for_duration
+    assert engine.state("edge") == FIRING
+    fired = [t for t in engine.transitions if t["to"] == FIRING]
+    assert fired[0]["time"] == 1.25
+
+
+def test_flapping_sequence_keeps_every_transition():
+    # ok → pending → firing → resolved → pending → firing: six states,
+    # five recorded transitions, nothing coalesced or lost.
+    engine = AlertEngine((
+        AlertRule(name="flap", series="s", op=">=", threshold=1,
+                  for_duration=0.1),
+    ))
+    engine.evaluate(0.0, {"s": 1.0})           # ok -> pending
+    engine.evaluate(0.1, {"s": 1.0})           # pending -> firing
+    engine.evaluate(0.2, {"s": 0.0})           # firing -> ok (resolved)
+    engine.evaluate(0.3, {"s": 1.0})           # ok -> pending (fresh dwell)
+    assert engine.state("flap") == PENDING     # dwell restarted, not resumed
+    engine.evaluate(0.4, {"s": 1.0})           # pending -> firing
+    assert [(t["from"], t["to"]) for t in engine.transitions] == [
+        (OK, PENDING), (PENDING, FIRING), (FIRING, OK),
+        (OK, PENDING), (PENDING, FIRING),
+    ]
+    assert len(engine.firings()) == 2
+    assert len(engine.resolutions()) == 1
+
+    history = engine.history()
+    assert [e["edge"] for e in history] == [
+        "pending", "fired", "resolved", "pending", "fired",
+    ]
+    assert [e["seq"] for e in history] == [0, 1, 2, 3, 4]
+    assert [e["time"] for e in history] == [0.0, 0.1, 0.2, 0.3, 0.4]
+
+
+def test_history_filters_by_rule_and_keeps_global_seq():
+    engine = AlertEngine((
+        AlertRule(name="a", series="s", op=">", threshold=0),
+        AlertRule(name="b", series="t", op=">", threshold=0),
+    ))
+    engine.evaluate(1.0, {"s": 1.0, "t": 1.0})
+    engine.evaluate(2.0, {"s": 0.0, "t": 1.0})
+    only_a = engine.history(rule="a")
+    assert [e["rule"] for e in only_a] == ["a", "a"]
+    # Sequence numbers index the global log, so cross-rule ordering is
+    # reconstructible from a filtered view.
+    assert [e["seq"] for e in only_a] == [0, 2]
+    assert [e["edge"] for e in only_a] == ["fired", "resolved"]
+
+
+def test_states_at_and_fired_by_replay_the_log():
+    engine = AlertEngine((
+        AlertRule(name="hot", series="s", op=">", threshold=10),
+    ))
+    engine.evaluate(1.0, {"s": 20.0})          # fires
+    engine.evaluate(2.0, {"s": 5.0})           # resolves
+    assert engine.states_at(0.5) == {"hot": OK}
+    assert engine.states_at(1.0) == {"hot": FIRING}
+    assert engine.firing_at(1.5) == ["hot"]
+    assert engine.firing_at(2.0) == []
+    # fired_by keeps citing the transient breach after it resolved.
+    assert engine.fired_by(0.9) == []
+    assert engine.fired_by(2.5) == ["hot"]
+
+
+def test_to_json_includes_history():
+    engine = AlertEngine((
+        AlertRule(name="a", series="s", op=">", threshold=0),
+    ))
+    engine.evaluate(1.0, {"s": 1.0})
+    doc = json.loads(engine.to_json())
+    assert doc["history"] == [{
+        "time": 1.0, "rule": "a", "from": OK, "to": FIRING,
+        "value": 1.0, "seq": 0, "edge": "fired",
+    }]
+
+
 def test_default_rules_are_labelled_per_gateway():
     rules = default_alert_rules(gateway="alpha")
     assert all('{gateway="alpha"}' in r.series for r in rules)

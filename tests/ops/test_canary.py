@@ -1,0 +1,134 @@
+"""The canary controller: staged verdicts, determinism, zero-loss rollback."""
+
+import pytest
+
+from repro.core import GatewayConfig
+from repro.ops import (
+    DEFAULT_STAGES,
+    PROMOTED,
+    ROLLED_BACK,
+    CanaryController,
+    Deployment,
+    RolloutStage,
+    production_deployment,
+    run_twin_pair,
+)
+from repro.ops.canary import report_to_json
+
+
+def test_stage_validation():
+    with pytest.raises(ValueError):
+        RolloutStage("bad", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        RolloutStage("bad", 1.5, 1.0)
+    with pytest.raises(ValueError):
+        RolloutStage("bad", 0.5, 0.0)
+    with pytest.raises(ValueError):
+        CanaryController(production_deployment(), production_deployment(),
+                         stages=())
+
+
+def test_default_ladder_widens_monotonically():
+    fractions = [stage.fraction for stage in DEFAULT_STAGES]
+    horizons = [stage.observe_until for stage in DEFAULT_STAGES]
+    assert fractions == sorted(fractions)
+    assert horizons == sorted(horizons)
+    assert horizons[-1] == 3.0  # the schedule's full horizon
+
+
+def test_identical_deployments_promote():
+    report = CanaryController(
+        production_deployment(), production_deployment(), seed=0,
+    ).run()
+    assert report["verdict"] == PROMOTED
+    assert report["rolled_back_at"] is None
+    assert report["rollback"] is None
+    assert [stage["status"] for stage in report["stages"]] == ["pass"] * 3
+    assert all(stage["alerts"] == [] for stage in report["stages"])
+    assert all(stage["guardrail_breaches"] == [] for stage in report["stages"])
+    # Twin symmetry: identical deployments, identical outcomes.
+    assert report["notes"]["baseline"] == report["notes"]["candidate"]
+
+
+def test_regression_rolls_back_at_first_failing_stage():
+    candidate = Deployment(
+        name="blackhole",
+        config=GatewayConfig(imtu=9000, emtu=3000,
+                             elephant_threshold_packets=2,
+                             header_only_dma=True),
+    )
+    controller = CanaryController(production_deployment(), candidate, seed=0)
+    report = controller.run()
+    assert report["verdict"] == ROLLED_BACK
+    assert report["rolled_back_at"] == "canary-1"
+    statuses = [stage["status"] for stage in report["stages"]]
+    assert statuses == ["fail", "not-reached", "not-reached"]
+    failing = report["stages"][0]
+    assert failing["alerts"] or failing["guardrail_breaches"]
+
+
+def test_rollback_is_a_live_zero_loss_takeover():
+    candidate = Deployment(
+        name="blackhole",
+        config=GatewayConfig(imtu=9000, emtu=3000,
+                             elephant_threshold_packets=2,
+                             header_only_dma=True),
+    )
+    controller = CanaryController(production_deployment(), candidate, seed=0)
+    report = controller.run()
+    rollback = report["rollback"]
+    assert rollback["mechanism"] == "failover-takeover"
+    assert rollback["reason"] == "canary-rollback"
+    assert rollback["zero_loss"] is True
+    assert rollback["pending_after"] is False
+    # The scheduled mid-run takeover plus the rollback drill.
+    assert rollback["takeovers"] == 2
+    assert controller.candidate_run.world.failover.takeovers == 2
+
+
+def test_alert_evidence_cites_candidate_history():
+    candidate = Deployment(
+        name="merge-off",
+        config=GatewayConfig(imtu=9000, emtu=1500,
+                             elephant_threshold_packets=1_000_000,
+                             header_only_dma=True),
+    )
+    report = CanaryController(production_deployment(), candidate, seed=0).run()
+    failing = next(s for s in report["stages"] if s["status"] == "fail")
+    assert "merge-ratio-floor" in failing["alerts"]
+    evidence = [e for e in failing["alert_evidence"]
+                if e["rule"] == "merge-ratio-floor"]
+    assert evidence, "cited alerts must come with history entries"
+    assert all(e["time"] <= failing["observe_until"] for e in evidence)
+    assert {e["edge"] for e in evidence} <= {"pending", "fired", "resolved",
+                                             "cleared"}
+    assert "fired" in {e["edge"] for e in evidence}
+
+
+def test_report_json_is_byte_identical_across_runs():
+    def run():
+        return CanaryController(
+            production_deployment(), production_deployment(), seed=2,
+        ).run()
+
+    assert report_to_json(run()) == report_to_json(run())
+
+
+def test_twin_pair_sees_identical_offered_load():
+    baseline, candidate = run_twin_pair(
+        production_deployment(), production_deployment(), seed=0)
+    # Same schedule, byte-identical worlds: every exported series agrees.
+    assert (baseline.world.obs.registry.to_prometheus_text()
+            == candidate.world.obs.registry.to_prometheus_text())
+
+
+def test_stage_snapshots_feed_guardrails_per_horizon():
+    controller = CanaryController(
+        production_deployment(), production_deployment(), seed=0)
+    controller.run()
+    world = controller.candidate_run.world
+    # Mid-run horizons captured in-sim; the final stage reads the
+    # end-of-run snapshot.
+    assert set(world.snapshots) == {1.0, 2.0}
+    rx = 'px_gateway_rx_packets_total{gateway="pxgw"}'
+    assert world.snapshots[1.0][rx] <= world.snapshots[2.0][rx]

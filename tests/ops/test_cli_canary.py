@@ -1,0 +1,75 @@
+"""End-to-end tests for the `repro canary` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_single_incident_table(capsys):
+    code = main(["canary", "--incident", "benign-candidate"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "benign-candidate" in out
+    assert "PROMOTED" in out
+    assert "canary-1" in out and "canary-50" in out
+
+
+def test_rolled_back_incident_exits_nonzero(capsys):
+    code = main(["canary", "--incident", "mis-sized-mtu-rollout"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "ROLLED_BACK" in out
+    assert "rollback" in out.lower()
+
+
+def test_unknown_incident_exits_two(capsys):
+    code = main(["canary", "--incident", "nope"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown incident" in err
+    assert "benign-candidate" in err  # lists the valid names
+
+
+def test_single_incident_json(capsys):
+    code = main(["canary", "--incident", "benign-candidate", "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["schema"] == "repro-canary/1"
+    assert doc["verdict"] == "PROMOTED"
+    assert doc["incident"] == "benign-candidate"
+
+
+def test_corpus_json_double_run_is_byte_identical(tmp_path, capsys):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    assert main(["canary", "--corpus", "--json", "--out", str(first)]) == 0
+    assert main(["canary", "--corpus", "--json", "--out", str(second)]) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+    doc = json.loads(first.read_text())
+    assert doc["schema"] == "repro-canary-corpus/1"
+    assert doc["ok"] is True
+    assert len(doc["incidents"]) == 6
+
+
+def test_corpus_table_lists_every_incident(capsys):
+    code = main(["canary", "--corpus"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for name in ("benign-candidate", "mis-sized-mtu-rollout",
+                 "pmtud-hardening-disabled", "caravan-flush-timer-regression",
+                 "merge-disabled-config", "bypass-under-nic-pressure"):
+        assert name in out
+
+
+def test_seed_changes_the_report(capsys):
+    assert main(["canary", "--incident", "benign-candidate", "--json"]) == 0
+    base = capsys.readouterr().out
+    assert main(["canary", "--incident", "benign-candidate", "--json",
+                 "--seed", "7"]) == 0
+    other = capsys.readouterr().out
+    assert json.loads(base)["seed"] == 0
+    assert json.loads(other)["seed"] == 7

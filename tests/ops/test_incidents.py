@@ -1,0 +1,118 @@
+"""The incident corpus has teeth: expected verdicts with cited evidence."""
+
+import pytest
+
+from repro.ops import (
+    INCIDENTS,
+    PROMOTED,
+    ROLLED_BACK,
+    incident,
+    incident_names,
+    production_deployment,
+    run_corpus,
+    run_incident,
+    run_twin_pair,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return run_corpus(seed=0)
+
+
+def test_unknown_incident_raises():
+    with pytest.raises(KeyError):
+        incident("no-such-incident")
+
+
+def test_corpus_covers_both_verdicts():
+    expected = [item.expected for item in INCIDENTS]
+    assert expected.count(PROMOTED) == 1
+    assert expected.count(ROLLED_BACK) == 5
+    assert len(set(incident_names())) == len(INCIDENTS)
+
+
+def test_every_incident_reaches_its_expected_verdict(corpus):
+    assert corpus["ok"] is True
+    for report in corpus["incidents"]:
+        assert report["verdict"] == report["expected"], report["incident"]
+
+
+def test_every_regression_cites_alert_or_guardrail_evidence(corpus):
+    for report in corpus["incidents"]:
+        if report["expected"] != ROLLED_BACK:
+            continue
+        failing = next(s for s in report["stages"] if s["status"] == "fail")
+        assert failing["alerts"] or failing["guardrail_breaches"], (
+            report["incident"])
+
+
+def test_every_rollback_is_zero_loss(corpus):
+    for report in corpus["incidents"]:
+        if report["verdict"] != ROLLED_BACK:
+            continue
+        assert report["rollback"]["zero_loss"] is True, report["incident"]
+        assert report["rollback"]["pending_after"] is False
+
+
+def test_benign_candidate_promotes_under_chaotic_weather(corpus):
+    report = next(r for r in corpus["incidents"]
+                  if r["incident"] == "benign-candidate")
+    assert report["verdict"] == PROMOTED
+    assert [s["status"] for s in report["stages"]] == ["pass"] * 3
+
+
+def test_misized_mtu_candidate_drops_where_baseline_does_not(corpus):
+    report = next(r for r in corpus["incidents"]
+                  if r["incident"] == "mis-sized-mtu-rollout")
+    failing = report["stages"][0]
+    drops = next(b for b in failing["guardrail_breaches"]
+                 if b["guardrail"] == "gateway-drops")
+    assert drops["baseline"] == 0
+    assert drops["candidate"] > 0
+
+
+def test_hardening_differential_is_at_the_cache():
+    item = incident("pmtud-hardening-disabled")
+    baseline, candidate = run_twin_pair(
+        production_deployment(), item.candidate, seed=0,
+        environment=item.environment)
+    base_cache = baseline.world.gateway.pmtu_cache
+    cand_cache = candidate.world.gateway.pmtu_cache
+    # Same forged report hit both twins: the hardened cache refused it,
+    # the trusting one swallowed it and clamped egress.
+    assert base_cache.poison_rejected == 1
+    assert len(base_cache._entries) == 0
+    assert cand_cache.poison_rejected == 0
+    assert len(cand_cache._entries) == 1
+    tx = 'px_gateway_tx_packets_total{gateway="pxgw"}'
+    assert (candidate.final_snapshot()[tx]
+            > baseline.final_snapshot()[tx])
+
+
+def test_nic_pressure_candidate_health_degrades_baseline_stays_healthy():
+    item = incident("bypass-under-nic-pressure")
+    baseline, candidate = run_twin_pair(
+        production_deployment(), item.candidate, seed=0,
+        environment=item.environment, schedule=item.schedule(0))
+    transitions = 'px_health_transitions_total{gateway="pxgw"}'
+    assert baseline.final_snapshot().get(transitions, 0) == 0
+    assert candidate.final_snapshot().get(transitions, 0) > 0
+    fallbacks = 'px_gateway_hdo_fallbacks_total{gateway="pxgw"}'
+    assert baseline.final_snapshot().get(fallbacks, 0) == 0
+    assert candidate.final_snapshot().get(fallbacks, 0) > 0
+
+
+def test_corpus_json_is_byte_identical_across_runs():
+    from repro.ops.canary import report_to_json
+
+    assert (report_to_json(run_corpus(seed=1))
+            == report_to_json(run_corpus(seed=1)))
+
+
+def test_incident_report_carries_expectation_bookkeeping():
+    report = run_incident("benign-candidate", seed=0)
+    assert report["incident"] == "benign-candidate"
+    assert report["expected"] == PROMOTED
+    assert report["ok"] is True
+    assert report["schema"] == "repro-canary/1"
