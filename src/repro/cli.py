@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed fractional slowdown vs --baseline (default 0.30)")
     bench.add_argument("--metrics-out", default=None,
                        help="also write the results as Prometheus text here")
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile the selected benches instead of timing "
+                            "them; prints a deterministic top-N cumulative table")
+    bench.add_argument("--profile-top", type=int, default=25,
+                       help="rows in the --profile table (default 25)")
 
     metrics = commands.add_parser(
         "metrics",
@@ -315,12 +320,22 @@ def _cmd_bench(args) -> int:
 
     from .perf import compare_reports, load_report, run_benchmarks, write_report
 
+    only = args.only.split(",") if args.only else None
+    if args.profile:
+        from .perf import bench_names, format_profile, profile_benchmark
+
+        for name in only if only is not None else bench_names():
+            summary = profile_benchmark(name, quick=args.quick,
+                                        top=args.profile_top)
+            print(format_profile(summary))
+            print()
+        return 0
+
     registry = None
     if args.metrics_out:
         from .obs import MetricsRegistry
 
         registry = MetricsRegistry()
-    only = args.only.split(",") if args.only else None
     report = run_benchmarks(quick=args.quick, reps=args.reps, only=only,
                             registry=registry)
     if registry is not None:

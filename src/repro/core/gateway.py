@@ -298,11 +298,20 @@ class PXGateway(Router):
             self.forward(packet, arrived_on=interface)
             return
 
-        for out in self.worker.process(
+        worker = self.worker
+        for out in worker.process(
             packet, bound, now=self.sim.now, ingress_at=ingress_at
         ):
             self.forward(out, arrived_on=interface)
-        self._ensure_flush_timer()
+        # _ensure_flush_timer inlined: two extra calls per packet
+        # otherwise (the method plus worker.pending()).
+        if self._flush_handle is None and (
+            worker.merge._pending_bytes != 0
+            or worker.caravan_merge._pending_packets != 0
+        ):
+            self._flush_handle = self.sim.schedule(
+                self.config.merge_timeout, self._on_flush_timer
+            )
 
     def _is_passthrough(self, packet: Packet) -> bool:
         """F-PMTUD probes (and their fragments) skip caravan merging."""

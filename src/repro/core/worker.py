@@ -84,6 +84,23 @@ class GatewayWorker:
         self.stats = GatewayStats()
         self.account = CycleAccount()
         self.mode = WorkerMode.NORMAL
+        # Hot-path constants, hoisted once: ``GatewayCosts`` is frozen
+        # and ``GatewayConfig`` is never mutated in place (incidents and
+        # canaries build new configs via ``dataclasses.replace``), so
+        # the per-packet attribute chains below are pure overhead.
+        self._cost_classifier = costs.classifier_per_packet
+        self._cost_slowpath = costs.rx_descriptor + costs.flow_lookup
+        self._cost_hairpin = costs.hairpin_forward
+        self._cost_rx = costs.rx_descriptor
+        self._cost_merge_in = costs.flow_lookup + costs.merge_append
+        self._cost_merge_flush = costs.merge_flush
+        self._cost_tx = costs.tx_descriptor
+        self._header_only = config.header_only_dma
+        self._hairpin_small = config.hairpin_small_flows
+        self._mss_clamp_on = config.mss_clamp
+        self._baseline_gro = config.baseline_gro
+        self._emtu = config.emtu
+        self._imtu = config.imtu
         #: Optional live PMTU store (repro.resilience.PmtuCache); when
         #: set, outbound splits are clamped to the cached path MTU.
         self.pmtu_cache = None
@@ -159,7 +176,6 @@ class GatewayWorker:
         to ``now``); it differs for packets re-processed after a stall,
         so span residency covers the queueing too.
         """
-        costs = self.costs
         account = self.account
         breakdown = account.breakdown
         ip = packet.ip
@@ -191,7 +207,7 @@ class GatewayWorker:
             # Cycle charges on this per-packet path are applied inline
             # (equivalent to ``account.charge``): the call overhead was
             # a measurable slice of the datapath.
-            cycles = costs.classifier_per_packet
+            cycles = self._cost_classifier
             account.cycles += cycles
             breakdown["classify"] = breakdown.get("classify", 0.0) + cycles
             state = self.classifier.observe(packet, now, size=size)
@@ -204,11 +220,11 @@ class GatewayWorker:
 
         is_tcp = proto == IPProto.TCP
         # Handshake packets always take the slow path: MSS intervention.
-        if is_tcp and packet.tcp.flags & TCPFlags.SYN:
-            cycles = costs.rx_descriptor + costs.flow_lookup
+        if is_tcp and packet.l4.flags & TCPFlags.SYN:
+            cycles = self._cost_slowpath
             account.cycles += cycles
             breakdown["slowpath"] = breakdown.get("slowpath", 0.0) + cycles
-            if self.config.mss_clamp and self.mss_clamp.process(
+            if self._mss_clamp_on and self.mss_clamp.process(
                 packet, bound, allow_raise=self.mode == WorkerMode.NORMAL
             ):
                 self.stats.mss_rewrites += 1
@@ -220,13 +236,13 @@ class GatewayWorker:
         # when the packet already conforms to the egress MTU (a jumbo
         # heading outside must still go through the split engine).
         if (
-            self.config.hairpin_small_flows
+            self._hairpin_small
             and state is not None
             and not state.is_elephant
             and not (proto == IPProto.UDP and ip.tos == PX_CARAVAN_TOS)
-            and (bound == Bound.INBOUND or size <= self.config.emtu)
+            and (bound == Bound.INBOUND or size <= self._emtu)
         ):
-            cycles = costs.hairpin_forward
+            cycles = self._cost_hairpin
             account.cycles += cycles
             breakdown["hairpin"] = breakdown.get("hairpin", 0.0) + cycles
             self.stats.hairpinned += 1
@@ -234,11 +250,11 @@ class GatewayWorker:
                 self.spans.sync(self._span_at, now, "hairpin")
             return self._emit([packet], bound, data=self._is_data(packet))
 
-        cycles = costs.rx_descriptor
+        cycles = self._cost_rx
         account.cycles += cycles
         breakdown["rx"] = breakdown.get("rx", 0.0) + cycles
         dma = self.dma
-        if self.config.header_only_dma:
+        if self._header_only:
             resident = self.merge.pending_bytes() + self.caravan_merge.pending_bytes()
             if resident + size > self.nic_memory_bytes:
                 # On-NIC memory exhausted: this packet's payload must
@@ -247,7 +263,7 @@ class GatewayWorker:
                 dma = FULL_DMA
                 self.stats.hdo_fallbacks += 1
             else:
-                cycles = costs.header_only_per_packet
+                cycles = self.costs.header_only_per_packet
                 account.cycles += cycles
                 breakdown["hdo"] = breakdown.get("hdo", 0.0) + cycles
         account.mem_bytes += dma.mem_bytes(packet, size=size)
@@ -265,6 +281,141 @@ class GatewayWorker:
         if self.spans is not None:
             self.spans.sync(self._span_at, now, "forward")
         return self._emit([packet], bound, data=False)
+
+    # ------------------------------------------------------------------
+    def process_batch(
+        self,
+        packets: List[Packet],
+        bound: str,
+        now: float = 0.0,
+    ) -> List[Packet]:
+        """Run a poll batch through the pipeline; returns egress packets.
+
+        Per-packet semantics match :meth:`process`, but the constant-
+        per-packet prologue — mode/observability checks and the flow
+        table lookup — runs once per batch (or once per flow group)
+        instead of once per packet.  Packets are grouped by
+        ``flow_key()`` in first-seen order with intra-flow arrival
+        order preserved, so the merge engines see each flow's packets
+        exactly as the scalar path would; egress packets come out
+        flow-grouped rather than arrival-interleaved.
+
+        When a tracer or span tracker is attached, or the worker is not
+        in NORMAL mode, the batch defers to the scalar pipeline packet
+        by packet — those paths must observe every per-packet firing
+        point.
+        """
+        if (
+            self.tracer is not None
+            or self.spans is not None
+            or self.mode != WorkerMode.NORMAL
+        ):
+            out: List[Packet] = []
+            process = self.process
+            for packet in packets:
+                out.extend(process(packet, bound, now))
+            return out
+
+        groups: dict = {}
+        for packet in packets:
+            key = packet.flow_key()
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [packet]
+            else:
+                group.append(packet)
+
+        account = self.account
+        breakdown = account.breakdown
+        stats = self.stats
+        classifier = self.classifier
+        cost_classifier = self._cost_classifier
+        cost_slowpath = self._cost_slowpath
+        cost_hairpin = self._cost_hairpin
+        cost_rx = self._cost_rx
+        hairpin_small = self._hairpin_small
+        header_only = self._header_only
+        emtu = self._emtu
+        worker_dma = self.dma
+        inbound = bound == Bound.INBOUND
+        out = []
+        extend = out.extend
+        for key, group in groups.items():
+            # One flow-table prologue per group: the lookup and window
+            # check cover every packet; per-packet touches and the
+            # promotion rule keep mid-batch elephant transitions exact.
+            state = None if key is None else classifier.observe_group(key, now)
+            for packet in group:
+                ip = packet.ip
+                proto = ip.protocol
+                size = packet.total_len
+                stats.rx_packets += 1
+                account.packets += 1
+                account.goodput_bytes += size
+
+                if state is not None:
+                    account.cycles += cost_classifier
+                    breakdown["classify"] = (
+                        breakdown.get("classify", 0.0) + cost_classifier
+                    )
+                    state.touch(size, now)
+                    classifier.promote_if_due(state)
+
+                is_tcp = proto == IPProto.TCP
+                if is_tcp and packet.l4.flags & TCPFlags.SYN:
+                    account.cycles += cost_slowpath
+                    breakdown["slowpath"] = (
+                        breakdown.get("slowpath", 0.0) + cost_slowpath
+                    )
+                    if self._mss_clamp_on and self.mss_clamp.process(
+                        packet, bound, allow_raise=True
+                    ):
+                        stats.mss_rewrites += 1
+                    extend(self._emit([packet], bound, data=False))
+                    continue
+
+                if (
+                    hairpin_small
+                    and state is not None
+                    and not state.is_elephant
+                    and not (proto == IPProto.UDP and ip.tos == PX_CARAVAN_TOS)
+                    and (inbound or size <= emtu)
+                ):
+                    account.cycles += cost_hairpin
+                    breakdown["hairpin"] = breakdown.get("hairpin", 0.0) + cost_hairpin
+                    stats.hairpinned += 1
+                    extend(self._emit([packet], bound, data=self._is_data(packet)))
+                    continue
+
+                account.cycles += cost_rx
+                breakdown["rx"] = breakdown.get("rx", 0.0) + cost_rx
+                dma = worker_dma
+                if header_only:
+                    resident = (
+                        self.merge.pending_bytes() + self.caravan_merge.pending_bytes()
+                    )
+                    if resident + size > self.nic_memory_bytes:
+                        dma = FULL_DMA
+                        stats.hdo_fallbacks += 1
+                    else:
+                        cycles = self.costs.header_only_per_packet
+                        account.cycles += cycles
+                        breakdown["hdo"] = breakdown.get("hdo", 0.0) + cycles
+                account.mem_bytes += dma.mem_bytes(packet, size=size)
+
+                if is_tcp:
+                    if inbound:
+                        extend(self._tcp_inbound(packet, now))
+                    else:
+                        extend(self._tcp_outbound(packet, now))
+                elif proto == IPProto.UDP:
+                    if inbound:
+                        extend(self._udp_inbound(packet, now))
+                    else:
+                        extend(self._udp_outbound(packet, now))
+                else:
+                    extend(self._emit([packet], bound, data=False))
+        return out
 
     # ------------------------------------------------------------------
     def _bypass(self, packet: Packet, bound: str, now: float) -> List[Packet]:
@@ -324,7 +475,6 @@ class GatewayWorker:
 
     # ------------------------------------------------------------------
     def _tcp_inbound(self, packet: Packet, now: float) -> List[Packet]:
-        costs = self.costs
         account = self.account
         breakdown = account.breakdown
         stats = self.stats
@@ -336,19 +486,19 @@ class GatewayWorker:
             if self.spans is not None:
                 self.spans.sync(self._span_at, now, "passthrough")
             return self._emit([packet], Bound.INBOUND, data=True)
-        if self.config.baseline_gro:
-            cycles = costs.baseline_gro_per_packet
+        if self._baseline_gro:
+            cycles = self.costs.baseline_gro_per_packet
             account.cycles += cycles
             breakdown["gro-sw"] = breakdown.get("gro-sw", 0.0) + cycles
         else:
-            cycles = costs.flow_lookup + costs.merge_append
+            cycles = self._cost_merge_in
             account.cycles += cycles
             breakdown["merge"] = breakdown.get("merge", 0.0) + cycles
         outputs = self.merge.feed(packet, now)
         if self.spans is not None:
             self._span_tcp_merge(packet, outputs, now)
         if outputs:
-            flush_cycles = costs.merge_flush
+            flush_cycles = self._cost_merge_flush
             for out in outputs:
                 account.cycles += flush_cycles
                 breakdown["merge"] = breakdown.get("merge", 0.0) + flush_cycles
@@ -593,12 +743,12 @@ class GatewayWorker:
         account = self.account
         breakdown = account.breakdown
         stats = self.stats
-        tx_cycles = self.costs.tx_descriptor
+        tx_cycles = self._cost_tx
         # Per-packet adds (not ``cycles * n``) keep float accumulation
         # order — and therefore reported totals — bit-identical to the
         # pre-inlined accounting.
         inbound_data = data and bound == Bound.INBOUND
-        imtu = self.config.imtu
+        imtu = self._imtu
         for packet in packets:
             account.cycles += tx_cycles
             breakdown["tx"] = breakdown.get("tx", 0.0) + tx_cycles

@@ -82,11 +82,11 @@ class Host(Node):
 
     def send(self, packet: Packet) -> bool:
         """Route and transmit a locally generated packet."""
-        interface = self.egress(packet.ip.dst)
-        if interface is None:
+        route = self.routes.lookup(packet.ip.dst)
+        if route is None:
             return False
         packet.timestamp = self.sim.now
-        return interface.send(packet)
+        return route.interface.send(packet)
 
     # ------------------------------------------------------------------
     # Listener registration
@@ -205,7 +205,7 @@ class Host(Node):
         self.rx_packets += 1
         self.rx_bytes += packet.total_len
         ip = packet.ip
-        if ip.is_fragment:
+        if ip.more_fragments or ip.fragment_offset > 0:
             if not self.reassemble:
                 return  # host drops fragments
             complete = self.reassembler.add(packet, now=self.sim.now)
@@ -229,7 +229,7 @@ class Host(Node):
                     return
             self._deliver_udp(packet)
         elif ip.protocol == IPProto.TCP:
-            tcp = packet.tcp
+            tcp = packet.l4
             key = (tcp.dst_port, ip.src, tcp.src_port)
             listener = self._tcp_listeners.get(key) or self._tcp_accepting.get(
                 tcp.dst_port

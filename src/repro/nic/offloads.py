@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List, Optional
 
-from ..packet import FlowKey, Packet, TCPFlags
+from ..packet import FlowKey, IPv4Header, Packet, TCPFlags, TCPHeader
 from ..packet.builder import next_ip_id
 
 __all__ = ["TcpCoalescer", "UdpGroCoalescer", "segment_tcp", "MergeContext"]
@@ -262,30 +262,65 @@ def segment_tcp(packet: Packet, mss: int) -> List[Packet]:
     if len(packet.payload) <= mss:
         return [packet]
 
+    # Segments are constructed directly (header fields written once via
+    # ``__new__``) rather than copy-then-mutate: on the split-heavy
+    # downstream path this loop makes one packet per MSS chunk and was
+    # the hottest site in the gateway profile.  Field values, flag
+    # rules, and ``next_ip_id()`` draw order are identical to the old
+    # copy-based loop, so wire bytes and digests are unchanged.
     segments: List[Packet] = []
+    append = segments.append
     payload = packet.payload
     total = len(payload)
-    base_seq = packet.tcp.seq
-    base_flags = packet.tcp.flags
+    tcp0 = packet.tcp
+    ip0 = packet.ip
+    base_seq = tcp0.seq
+    base_flags = tcp0.flags
+    header_len = ip0.header_len + tcp0.header_len
+    meta = packet.meta
+    timestamp = packet.timestamp
+    fkey = packet._fkey  # seq/IP-ID changes never touch the flow key
+    tail_flags = base_flags & ~(TCPFlags.FIN | TCPFlags.PSH)
     cursor = 0
     while cursor < total:
         chunk = payload[cursor : cursor + mss]
-        segment = packet.copy()
-        tcp = segment.tcp
-        ip = segment.ip
-        segment.payload = chunk
-        tcp.seq = (base_seq + cursor) & 0xFFFFFFFF
+        chunk_len = len(chunk)
         is_first = cursor == 0
-        is_last = cursor + len(chunk) >= total
-        flags = base_flags
-        if not is_last:
-            flags &= ~(TCPFlags.FIN | TCPFlags.PSH)
+        flags = base_flags if cursor + chunk_len >= total else tail_flags
         if not is_first:
             flags &= ~TCPFlags.CWR
-            ip.identification = next_ip_id()
+        tcp = TCPHeader.__new__(TCPHeader)
+        tcp.src_port = tcp0.src_port
+        tcp.dst_port = tcp0.dst_port
+        tcp.seq = (base_seq + cursor) & 0xFFFFFFFF
+        tcp.ack = tcp0.ack
         tcp.flags = flags
-        ip.total_length = ip.header_len + tcp.header_len + len(chunk)
-        segment.meta["split_from"] = total  # original payload size
-        segments.append(segment)
-        cursor += len(chunk)
+        tcp.window = tcp0.window
+        tcp.checksum = tcp0.checksum
+        tcp.urgent = tcp0.urgent
+        tcp.options = list(tcp0.options)
+        ip = IPv4Header.__new__(IPv4Header)
+        ip.src = ip0.src
+        ip.dst = ip0.dst
+        ip.protocol = ip0.protocol
+        ip.total_length = header_len + chunk_len
+        ip.identification = ip0.identification if is_first else next_ip_id()
+        ip.dont_fragment = ip0.dont_fragment
+        ip.more_fragments = ip0.more_fragments
+        ip.fragment_offset = ip0.fragment_offset
+        ip.ttl = ip0.ttl
+        ip.tos = ip0.tos
+        ip.options = ip0.options
+        segment = Packet.__new__(Packet)
+        segment.ip = ip
+        segment.l4 = tcp
+        segment.payload = chunk
+        segment.timestamp = timestamp
+        seg_meta = dict(meta)
+        seg_meta["split_from"] = total  # original payload size
+        segment.meta = seg_meta
+        segment._fkey = fkey
+        segment._l4_shared = False
+        append(segment)
+        cursor += chunk_len
     return segments

@@ -21,6 +21,7 @@ from .ip import IP_HEADER_LEN, IP_MAX_PACKET, PX_CARAVAN_TOS, IPProto, IPv4Heade
 from .packet import Packet
 from .tcp import TCP_HEADER_LEN, TCPFlags, TCPHeader, TCPOption
 from .udp import UDP_HEADER_LEN, UDPHeader
+from .vector import checksum_many, serialize_many
 
 __all__ = [
     "EthernetHeader",
@@ -50,6 +51,8 @@ __all__ = [
     "internet_checksum",
     "verify_checksum",
     "incremental_update",
+    "checksum_many",
+    "serialize_many",
     "ip_to_str",
     "str_to_ip",
     "ip_to_bytes",

@@ -9,7 +9,6 @@ consecutive IP IDs), and the ToS byte (marks PX-caravan packets).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
 
 from .checksum import internet_checksum, verify_checksum
 
@@ -30,21 +29,69 @@ class IPProto:
     UDP = 17
 
 
-@dataclass
 class IPv4Header:
-    """A parsed IPv4 header (options supported as an opaque blob)."""
+    """A parsed IPv4 header (options supported as an opaque blob).
 
-    src: int = 0
-    dst: int = 0
-    protocol: int = IPProto.TCP
-    total_length: int = IP_HEADER_LEN
-    identification: int = 0
-    dont_fragment: bool = False
-    more_fragments: bool = False
-    fragment_offset: int = 0  # in 8-byte units
-    ttl: int = 64
-    tos: int = 0
-    options: bytes = field(default=b"", repr=False)
+    A hand-rolled ``__slots__`` class rather than a dataclass: header
+    construction and :meth:`copy` sit on the per-packet fast path
+    (every build, fork, and forward makes one), and skipping the
+    per-instance ``__dict__`` both shrinks the object and speeds field
+    access.  Equality semantics match the previous dataclass form.
+    """
+
+    __slots__ = (
+        "src", "dst", "protocol", "total_length", "identification",
+        "dont_fragment", "more_fragments", "fragment_offset", "ttl",
+        "tos", "options",
+    )
+
+    def __init__(
+        self,
+        src: int = 0,
+        dst: int = 0,
+        protocol: int = IPProto.TCP,
+        total_length: int = IP_HEADER_LEN,
+        identification: int = 0,
+        dont_fragment: bool = False,
+        more_fragments: bool = False,
+        fragment_offset: int = 0,  # in 8-byte units
+        ttl: int = 64,
+        tos: int = 0,
+        options: bytes = b"",
+    ):
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.total_length = total_length
+        self.identification = identification
+        self.dont_fragment = dont_fragment
+        self.more_fragments = more_fragments
+        self.fragment_offset = fragment_offset
+        self.ttl = ttl
+        self.tos = tos
+        self.options = options
+
+    def _astuple(self):
+        return (
+            self.src, self.dst, self.protocol, self.total_length,
+            self.identification, self.dont_fragment, self.more_fragments,
+            self.fragment_offset, self.ttl, self.tos, self.options,
+        )
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not IPv4Header:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    __hash__ = None  # type: ignore[assignment] - mutable, like the dataclass it replaced
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IPv4Header(src={self.src}, dst={self.dst}, protocol={self.protocol}, "
+            f"total_length={self.total_length}, identification={self.identification}, "
+            f"dont_fragment={self.dont_fragment}, more_fragments={self.more_fragments}, "
+            f"fragment_offset={self.fragment_offset}, ttl={self.ttl}, tos={self.tos})"
+        )
 
     @property
     def header_len(self) -> int:
@@ -64,13 +111,23 @@ class IPv4Header:
     def copy(self, **overrides) -> "IPv4Header":
         """Return a copy with selected fields replaced."""
         new = IPv4Header.__new__(IPv4Header)
-        state = new.__dict__
-        state.update(self.__dict__)
+        new.src = self.src
+        new.dst = self.dst
+        new.protocol = self.protocol
+        new.total_length = self.total_length
+        new.identification = self.identification
+        new.dont_fragment = self.dont_fragment
+        new.more_fragments = self.more_fragments
+        new.fragment_offset = self.fragment_offset
+        new.ttl = self.ttl
+        new.tos = self.tos
+        new.options = self.options
         if overrides:
+            slots = IPv4Header.__slots__
             for name in overrides:
-                if name not in state:
+                if name not in slots:
                     raise TypeError(f"unknown IPv4Header field {name!r}")
-            state.update(overrides)
+                setattr(new, name, overrides[name])
         return new
 
     def pack(self, payload_len: "int | None" = None) -> bytes:

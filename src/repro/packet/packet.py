@@ -96,12 +96,16 @@ class Packet:
         l4 = self.l4
         # 20 + options is ``ip.header_len`` inlined: this property runs
         # several times per link traversal, so it skips the nested
-        # property dispatch.
+        # property dispatch.  The TCP no-options case (every data
+        # segment and plain ACK) additionally skips the header_len
+        # property, which would re-derive the constant.
         header = 20 + len(self.ip.options)
+        if isinstance(l4, TCPHeader):
+            if not l4.options:
+                return header + 20 + len(self.payload)
+            return header + l4.header_len + len(self.payload)
         if l4 is None:
             return header + len(self.payload)
-        if isinstance(l4, TCPHeader):
-            return header + l4.header_len + len(self.payload)
         if isinstance(l4, UDPHeader):
             return header + 8 + len(self.payload)
         return header + 8 + len(l4.payload)

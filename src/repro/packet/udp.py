@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 
 from .checksum import internet_checksum, ones_complement_sum, pseudo_header
 from .ip import IPProto
@@ -13,14 +12,44 @@ __all__ = ["UDPHeader", "UDP_HEADER_LEN"]
 UDP_HEADER_LEN = 8
 
 
-@dataclass
 class UDPHeader:
-    """A UDP header; ``length`` covers header plus payload."""
+    """A UDP header; ``length`` covers header plus payload.
 
-    src_port: int = 0
-    dst_port: int = 0
-    length: int = UDP_HEADER_LEN
-    checksum: int = 0
+    ``__slots__`` (not a dataclass) because UDP/caravan datapaths build
+    one per datagram; equality matches the old dataclass form.
+    """
+
+    __slots__ = ("src_port", "dst_port", "length", "checksum")
+
+    def __init__(
+        self,
+        src_port: int = 0,
+        dst_port: int = 0,
+        length: int = UDP_HEADER_LEN,
+        checksum: int = 0,
+    ):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.length = length
+        self.checksum = checksum
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not UDPHeader:
+            return NotImplemented
+        return (
+            self.src_port == other.src_port
+            and self.dst_port == other.dst_port
+            and self.length == other.length
+            and self.checksum == other.checksum
+        )
+
+    __hash__ = None  # type: ignore[assignment] - mutable, like the dataclass it replaced
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UDPHeader(src_port={self.src_port}, dst_port={self.dst_port}, "
+            f"length={self.length}, checksum={self.checksum})"
+        )
 
     def pack(self, payload: bytes = b"", src_ip: int = 0, dst_ip: int = 0) -> bytes:
         """Serialize header (and compute checksum when IPs are given).

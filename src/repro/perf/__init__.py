@@ -21,19 +21,30 @@ from .bench import (
     BENCH_SCHEMA,
     BenchResult,
     bench_names,
+    format_profile,
+    profile_benchmark,
     run_benchmarks,
     write_report,
 )
-from .compare import CompareResult, compare_reports, load_report, validate_report
+from .compare import (
+    CompareResult,
+    compare_reports,
+    load_report,
+    speedup_table,
+    validate_report,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
     "BenchResult",
     "bench_names",
+    "format_profile",
+    "profile_benchmark",
     "run_benchmarks",
     "write_report",
     "CompareResult",
     "compare_reports",
     "load_report",
+    "speedup_table",
     "validate_report",
 ]

@@ -32,6 +32,8 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchResult",
     "bench_names",
+    "format_profile",
+    "profile_benchmark",
     "run_benchmarks",
     "write_report",
 ]
@@ -339,6 +341,110 @@ def _prepare_gateway_world_observed(quick: bool) -> Callable[[], int]:
     return run
 
 
+def _stream_workload(quick: bool) -> list:
+    """A seeded Figure-5-style (packet, bound) stream for the datapath."""
+    from ..core.config import Bound
+    from ..workload import interleave, make_tcp_sources
+
+    count = 6_000 if quick else 30_000
+    down = make_tcp_sources(48, 1448, tag=Bound.INBOUND)
+    up = make_tcp_sources(48, 8948, tag=Bound.OUTBOUND, base_port=30000,
+                          client_net="10.1.0", server_net="198.51.100")
+    rng = random.Random(0xBA7C)
+    return list(interleave(down * 2 + up, count, rng, mean_run=16.0))
+
+
+def _run_datapath_stream(stream: list, batched: bool) -> int:
+    from ..core import GatewayConfig, GatewayDatapath
+
+    datapath = GatewayDatapath(GatewayConfig())
+    datapath.process_stream(stream, batched=batched)
+    return len(stream)
+
+
+@_bench("gateway_stream")
+def _prepare_gateway_stream(quick: bool) -> Callable[[], int]:
+    """The offline datapath (Figure-5 entry point), packet at a time.
+
+    The scalar twin of ``gateway_world_batched``: identical workload,
+    identical configuration, per-packet dispatch — the pair's ratio is
+    the measured batching speedup at the dispatch layer.
+    """
+    stream = _stream_workload(quick)
+
+    def run() -> int:
+        return _run_datapath_stream(stream, batched=False)
+
+    return run
+
+
+@_bench("gateway_world_batched")
+def _prepare_gateway_world_batched(quick: bool) -> Callable[[], int]:
+    """The offline datapath with batch-vectorized dispatch.
+
+    Each poll batch is RSS-sharded once and runs through
+    ``GatewayWorker.process_batch`` — one mode/observability/flow-table
+    prologue per flow group instead of per packet.
+    """
+    stream = _stream_workload(quick)
+
+    def run() -> int:
+        return _run_datapath_stream(stream, batched=True)
+
+    return run
+
+
+@_bench("event_wheel")
+def _prepare_event_wheel(quick: bool) -> Callable[[], int]:
+    """Scheduler churn: the bucketed event wheel under timer pressure.
+
+    The workload mirrors what a busy simulation does to the engine:
+    a dense mass of non-cancellable data events (``schedule_fast``),
+    a population of cancellable timers half of which are cancelled
+    before firing (retransmit-timer churn), and a reschedule chain
+    that inserts into the bucket currently being drained.
+    """
+    from ..sim import Simulator
+
+    count = 30_000 if quick else 150_000
+    rng = random.Random(0x3E11)
+    plan = [
+        (rng.uniform(1e-6, 2e-3), rng.random() < 0.4, rng.random() < 0.5)
+        for _ in range(count)
+    ]
+
+    def run() -> int:
+        sim = Simulator()
+        schedule = sim.schedule
+        schedule_fast = sim.schedule_fast
+
+        def nop() -> None:
+            pass
+
+        doomed = []
+        for delay, cancellable, cancel in plan:
+            if cancellable:
+                handle = schedule(delay, nop)
+                if cancel:
+                    doomed.append(handle)
+            else:
+                schedule_fast(delay, nop)
+        for handle in doomed:
+            handle.cancel()
+        remaining = [count // 10]
+
+        def chain() -> None:
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                schedule_fast(7.3e-5, chain)
+
+        schedule_fast(0.0, chain)
+        sim.run()
+        return count
+
+    return run
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -425,3 +531,59 @@ def write_report(report: dict, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def profile_benchmark(name: str, quick: bool = False, top: int = 25) -> dict:
+    """Run one benchmark under cProfile; return a deterministic summary.
+
+    The benchmark runs once untimed (warmup — so lazy imports and
+    caches do not dominate the profile) and once under the profiler.
+    Rows are the top-*top* functions by cumulative time, tie-broken by
+    qualified name so the *ordering* (and, because the workloads are
+    seeded, every call count) is deterministic across runs; the time
+    columns naturally vary with the machine.
+
+    Returns ``{"bench", "packets", "total_calls", "rows"}`` where each
+    row is ``{"ncalls", "tottime", "cumtime", "function"}``.
+    """
+    import cProfile
+    import os
+
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown benchmark {name!r} (have {bench_names()})")
+    run = _REGISTRY[name](quick)
+    run()  # warmup
+    profiler = cProfile.Profile()
+    profiler.enable()
+    packets = run()
+    profiler.disable()
+    profiler.create_stats()
+
+    rows = []
+    total_calls = 0
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in profiler.stats.items():
+        total_calls += nc
+        where = f"{os.path.basename(filename)}:{lineno}({funcname})"
+        rows.append({"ncalls": nc, "tottime": tt, "cumtime": ct, "function": where})
+    rows.sort(key=lambda row: (-row["cumtime"], row["function"]))
+    return {
+        "bench": name,
+        "packets": packets,
+        "total_calls": total_calls,
+        "rows": rows[:top],
+    }
+
+
+def format_profile(summary: dict) -> str:
+    """Render a :func:`profile_benchmark` summary as an aligned table."""
+    lines = [
+        f"profile: {summary['bench']}  "
+        f"({summary['packets']} packets, {summary['total_calls']} calls)",
+        f"{'ncalls':>10s} {'tottime':>10s} {'cumtime':>10s}  function",
+    ]
+    for row in summary["rows"]:
+        lines.append(
+            f"{row['ncalls']:>10d} {row['tottime']:>10.4f} "
+            f"{row['cumtime']:>10.4f}  {row['function']}"
+        )
+    return "\n".join(lines)

@@ -17,7 +17,14 @@ from typing import List, Optional
 
 from .bench import BENCH_SCHEMA
 
-__all__ = ["CompareResult", "compare_reports", "load_report", "validate_report", "main"]
+__all__ = [
+    "CompareResult",
+    "compare_reports",
+    "load_report",
+    "speedup_table",
+    "validate_report",
+    "main",
+]
 
 #: Keys every result row must carry, with their required types.
 _ROW_KEYS = {
@@ -74,17 +81,28 @@ class CompareResult:
     regressed: bool
     #: The bench exists in the baseline but not the candidate report.
     missing: bool = False
+    base_ns: float = 0.0
+    new_ns: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Speedup of the candidate over the baseline (= ``ratio``).
+
+        Expressed as a named column so reports read "2.00x speedup"
+        rather than a bare ratio; < 1.0 is a slowdown.
+        """
+        return self.ratio
 
     def line(self) -> str:
         if self.missing:
             return (
                 f"{self.bench:22s} {self.base_pps:14,.0f} -> "
-                f"{'(absent)':>14s} pkts/s           MISSING"
+                f"{'(absent)':>14s} pkts/s                    MISSING"
             )
         verdict = "REGRESSED" if self.regressed else "ok"
         return (
             f"{self.bench:22s} {self.base_pps:14,.0f} -> {self.new_pps:14,.0f} pkts/s "
-            f"({self.ratio:6.2f}x)  {verdict}"
+            f"speedup {self.speedup:6.2f}x  {verdict}"
         )
 
 
@@ -121,6 +139,8 @@ def compare_reports(base: dict, new: dict, threshold: float = 0.30) -> List[Comp
                 new_pps=new_pps,
                 ratio=new_pps / base_pps,
                 regressed=new_pps < base_pps * (1.0 - threshold),
+                base_ns=float(baseline["ns_per_pkt"]),
+                new_ns=float(row["ns_per_pkt"]),
             )
         )
     if not common:
@@ -140,6 +160,28 @@ def compare_reports(base: dict, new: dict, threshold: float = 0.30) -> List[Comp
     return results
 
 
+def speedup_table(results: List[CompareResult]) -> str:
+    """Render comparison results as a markdown speedup table.
+
+    Used to generate the speedup tables in ``EXPERIMENTS.md``; missing
+    benches are excluded (they are gate failures, not measurements).
+    """
+    lines = [
+        "| bench | baseline pkts/s | current pkts/s | baseline ns/pkt "
+        "| current ns/pkt | speedup |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for result in results:
+        if result.missing:
+            continue
+        lines.append(
+            f"| {result.bench} | {result.base_pps:,.0f} | {result.new_pps:,.0f} "
+            f"| {result.base_ns:,.0f} | {result.new_ns:,.0f} "
+            f"| {result.speedup:.2f}x |"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI: exit 1 when any common bench regressed past the threshold."""
     import argparse
@@ -152,6 +194,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional slowdown (default 0.30)")
+    parser.add_argument("--table", action="store_true",
+                        help="also print a markdown speedup table")
     args = parser.parse_args(argv)
 
     results = compare_reports(
@@ -159,6 +203,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     for result in results:
         print(result.line())
+    if args.table:
+        print()
+        print(speedup_table(results))
     regressed = [result for result in results if result.regressed]
     if regressed:
         print(f"{len(regressed)} benchmark(s) regressed beyond "

@@ -1,10 +1,18 @@
 """A small deterministic discrete-event simulator.
 
-The engine is a classic calendar queue over ``heapq``: events fire in
-timestamp order, with a monotonically increasing sequence number as the
-tie-breaker so same-time events run in scheduling order.  Every
-stochastic component in the library takes an explicit seeded
-``random.Random`` so whole experiments replay bit-identically.
+The engine is a bucketed event wheel (calendar queue): near-future
+events land in per-tick buckets with O(1) append, far-future events
+wait in a ``heapq`` overflow lane and migrate into the wheel as the
+window slides forward.  Events fire in timestamp order, with a
+monotonically increasing sequence number as the tie-breaker so
+same-time events run in scheduling order.  Every stochastic component
+in the library takes an explicit seeded ``random.Random`` so whole
+experiments replay bit-identically.
+
+Ordering is exact, not tick-quantized: a bucket collects every event
+whose timestamp falls inside one wheel tick, and the drain sorts the
+bucket by ``(time, seq)`` before firing, so two events 10 ns apart
+inside the same microsecond tick still fire in true timestamp order.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Simulator", "EventHandle"]
 
+_Entry = Tuple[float, int, "EventHandle", Callable, tuple]
+
 
 class EventHandle:
     """A cancellable reference to a scheduled event.
@@ -22,7 +32,7 @@ class EventHandle:
     Handles carry their insertion sequence number and order by
     ``(time, seq)``: two events at the *same* timestamp (seeded Netem
     delay faults routinely collide) always pop in scheduling order, so
-    chaos replays stay byte-identical and heap comparison can never
+    chaos replays stay byte-identical and queue comparison can never
     fall through to an unorderable payload.
     """
 
@@ -66,17 +76,52 @@ class EventHandle:
 #: loop treats fast events exactly like live handle-carrying ones.
 _FAST_HANDLE = EventHandle(0.0, 0)
 
+#: Effectively-infinite tick bound used when ``run`` has no horizon.
+_NO_LIMIT_TICK = 1 << 62
+
 
 class Simulator:
-    """The event loop shared by all nodes, links, and protocol agents."""
+    """The event loop shared by all nodes, links, and protocol agents.
 
-    def __init__(self):
-        self._queue: List[Tuple[float, int, EventHandle, Callable, tuple]] = []
+    Internally a bucketed event wheel: ``wheel_slots`` buckets of
+    ``wheel_resolution`` seconds each cover a sliding window starting
+    at the drain cursor.  Scheduling inside the window appends to a
+    bucket (O(1) — the datapath case: serialization, propagation, and
+    CPU-cycle delays are all microseconds or less); anything beyond
+    the window goes to the overflow heap (protocol timers: RTO,
+    delayed-ACK, probe timers) and migrates in as the window slides.
+    """
+
+    def __init__(self, wheel_resolution: float = 1e-4, wheel_slots: int = 256):
+        if wheel_resolution <= 0:
+            raise ValueError(f"wheel resolution must be positive (got {wheel_resolution})")
+        if wheel_slots < 1:
+            raise ValueError(f"need at least one wheel slot (got {wheel_slots})")
+        size = 1
+        while size < wheel_slots:
+            size <<= 1
+        self._res_inv = 1.0 / wheel_resolution
+        self._slots = size
+        self._mask = size - 1
+        self._wheel: List[List[_Entry]] = [[] for _ in range(size)]
+        #: Entries (live or cancelled) currently held in wheel buckets.
+        self._wheel_count = 0
+        #: Occupancy bitmask over wheel slots (bit i set ⇔ slot i has
+        #: entries): lets the drain jump straight to the next occupied
+        #: slot with one big-int scan instead of sweeping empty ticks.
+        self._occupied = 0
+        #: Far-future lane: a heap of entries with ticks beyond the
+        #: current window; ordered by (time, seq) like everything else.
+        self._overflow: List[_Entry] = []
+        #: The next tick the drain will visit; all wheel entries have
+        #: tick >= cursor (earlier-time stragglers are clamped into the
+        #: cursor bucket, where the per-bucket sort restores exact order).
+        self._cursor = 0
         self._sequence = itertools.count()
         self._now = 0.0
         self._running = False
         #: Live (scheduled, neither fired nor cancelled) event count;
-        #: kept exact so ``pending()`` never rescans the heap.
+        #: kept exact so ``pending()`` never rescans the queue.
         self._live = 0
         #: Count of events executed; useful for efficiency assertions.
         self.events_processed = 0
@@ -90,12 +135,28 @@ class Simulator:
         """Run ``callback(*args)`` *delay* seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        # Inlined schedule_at: this is called once or twice per packet
-        # hop, so the extra frame was measurable in the event loop.
+        # The insert is inlined (here and in the two variants below):
+        # this is called once or twice per packet hop, so the extra
+        # frame was measurable in the event loop.  A tick the cursor
+        # already swept past (its events fired but ``now`` still sits
+        # inside it) parks in the cursor bucket, where the per-bucket
+        # (time, seq) sort restores exact firing order.
         time = self._now + delay
         seq = next(self._sequence)
         handle = EventHandle(time, seq, owner=self)
-        heapq.heappush(self._queue, (time, seq, handle, callback, args))
+        tick = int(time * self._res_inv)
+        cursor = self._cursor
+        if tick < cursor:
+            tick = cursor
+        if tick - cursor < self._slots:
+            index = tick & self._mask
+            bucket = self._wheel[index]
+            if not bucket:
+                self._occupied |= 1 << index
+            bucket.append((time, seq, handle, callback, args))
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._overflow, (time, seq, handle, callback, args))
         self._live += 1
         return handle
 
@@ -105,25 +166,56 @@ class Simulator:
             raise ValueError(f"cannot schedule at {time} (now={self._now})")
         seq = next(self._sequence)
         handle = EventHandle(time, seq, owner=self)
-        heapq.heappush(self._queue, (time, seq, handle, callback, args))
+        tick = int(time * self._res_inv)
+        cursor = self._cursor
+        if tick < cursor:
+            tick = cursor
+        if tick - cursor < self._slots:
+            index = tick & self._mask
+            bucket = self._wheel[index]
+            if not bucket:
+                self._occupied |= 1 << index
+            bucket.append((time, seq, handle, callback, args))
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._overflow, (time, seq, handle, callback, args))
         self._live += 1
         return handle
 
     def schedule_fast(self, delay: float, callback: Callable, *args: Any) -> None:
         """Schedule a non-cancellable event *delay* seconds from now.
 
-        Links schedule two events per packet and never cancel them;
-        skipping the per-event :class:`EventHandle` allocation is a
-        measurable win on the datapath.  Fast events share one inert
-        handle (its ``cancelled`` flag is never set), so ordering and
-        replay behaviour are identical to :meth:`schedule`.
+        Contract (guarded by ``tests/test_sim_engine.py``):
+
+        * Fast events return no handle and **cannot be cancelled** —
+          they all share one inert :class:`EventHandle` whose
+          ``cancelled`` flag is never set, skipping the per-event
+          handle allocation the datapath would otherwise pay for every
+          serialize/deliver hop.
+        * They are **fully visible** to ``pending()`` and
+          ``peek_time()`` while queued, and fire in exact
+          ``(time, seq)`` order alongside handle-carrying events — but
+          they are *invisible to cancellation churn*: nothing can make
+          ``peek_time()`` skip one, and the live counter only ever
+          decrements for them when they fire.
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, next(self._sequence), _FAST_HANDLE, callback, args),
-        )
+        time = self._now + delay
+        tick = int(time * self._res_inv)
+        cursor = self._cursor
+        if tick < cursor:
+            tick = cursor
+        entry = (time, next(self._sequence), _FAST_HANDLE, callback, args)
+        if tick - cursor < self._slots:
+            index = tick & self._mask
+            bucket = self._wheel[index]
+            if not bucket:
+                self._occupied |= 1 << index
+            bucket.append(entry)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._overflow, entry)
         self._live += 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
@@ -137,26 +229,112 @@ class Simulator:
         """
         self._running = True
         executed = 0
-        queue = self._queue
+        wheel = self._wheel
+        mask = self._mask
+        slots = self._slots
+        overflow = self._overflow
+        res_inv = self._res_inv
         heappop = heapq.heappop
         # Hoist the per-iteration Optional checks out of the loop: an
         # infinite horizon compares False forever, and a -1 countdown
         # never equals the post-increment counter.
         limit = float("inf") if until is None else until
+        limit_tick = _NO_LIMIT_TICK if until is None else int(limit * res_inv)
         stop_after = -1 if max_events is None else max_events
+        stopped = False
         try:
-            while queue:
-                if queue[0][0] > limit:
-                    break
-                time, _seq, handle, callback, args = heappop(queue)
-                if handle.cancelled:
+            while True:
+                cursor = self._cursor
+                bucket = wheel[cursor & mask]
+                if not bucket:
+                    if not self._wheel_count and not overflow:
+                        break
+                    # An overflow entry whose tick has entered the
+                    # window migrates to its bucket before any jump, so
+                    # the occupancy mask sees it.
+                    if overflow:
+                        end = cursor + slots
+                        while overflow:
+                            tick = int(overflow[0][0] * res_inv)
+                            if tick >= end:
+                                break
+                            index = tick & mask
+                            wheel[index].append(heappop(overflow))
+                            self._wheel_count += 1
+                            self._occupied |= 1 << index
+                    occupied = self._occupied
+                    if occupied:
+                        # Jump straight to the next occupied slot: rotate
+                        # the mask so bit 0 is the cursor slot, then take
+                        # the lowest set bit.
+                        index = cursor & mask
+                        rotated = (occupied >> index) | (
+                            (occupied & ((1 << index) - 1)) << (slots - index)
+                        )
+                        cursor += (rotated & -rotated).bit_length() - 1
+                        if cursor > limit_tick:
+                            if limit_tick > self._cursor:
+                                self._cursor = limit_tick
+                            break
+                        self._cursor = cursor
+                        continue
+                    # Wheel empty: jump the cursor straight to the next
+                    # overflow tick instead of sweeping idle slots.
+                    top_time = overflow[0][0]
+                    if top_time > limit:
+                        if limit_tick > cursor:
+                            self._cursor = limit_tick
+                        break
+                    cursor = int(top_time * res_inv)
+                    self._cursor = cursor
+                    end = cursor + slots
+                    while overflow:
+                        tick = int(overflow[0][0] * res_inv)
+                        if tick >= end:
+                            break
+                        index = tick & mask
+                        wheel[index].append(heappop(overflow))
+                        self._wheel_count += 1
+                        self._occupied |= 1 << index
                     continue
-                handle._fired = True
-                self._live -= 1
-                self._now = time
-                callback(*args)
-                executed += 1
-                if executed == stop_after:
+                # Drain the cursor bucket in exact (time, seq) order.
+                # The bucket stays in the wheel while firing, so
+                # peek_time()/pending() called from inside a callback
+                # still see the not-yet-fired remainder; reverse sort
+                # makes the next event a cheap pop() off the end.
+                if len(bucket) > 1:
+                    bucket.sort(reverse=True)
+                while bucket:
+                    entry = bucket[-1]
+                    time = entry[0]
+                    if time > limit:
+                        stopped = True
+                        break
+                    bucket.pop()
+                    self._wheel_count -= 1
+                    handle = entry[2]
+                    if handle.cancelled:
+                        continue
+                    handle._fired = True
+                    self._live -= 1
+                    self._now = time
+                    depth = len(bucket)
+                    entry[3](*entry[4])
+                    executed += 1
+                    if len(bucket) != depth:
+                        # The callback scheduled into this same tick; the
+                        # append landed unsorted at the pop end, so
+                        # restore order before the next pop.
+                        bucket.sort(reverse=True)
+                    if executed == stop_after:
+                        stopped = True
+                        break
+                if not bucket:
+                    self._occupied &= ~(1 << (cursor & mask))
+                    if not stopped:
+                        self._cursor = cursor + 1
+                        continue
+                if stopped:
                     break
         finally:
             self._running = False
@@ -167,22 +345,54 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or None if idle."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else None
+        if self._live == 0:
+            return None
+        overflow = self._overflow
+        while overflow and overflow[0][2].cancelled:
+            heapq.heappop(overflow)
+        best = overflow[0][0] if overflow else None
+        if self._wheel_count:
+            wheel = self._wheel
+            mask = self._mask
+            slots = self._slots
+            cursor = self._cursor
+            index = cursor & mask
+            occupied = self._occupied
+            # Rotate so bit 0 is the cursor slot, then visit occupied
+            # slots in drain order.
+            rotated = (occupied >> index) | (
+                (occupied & ((1 << index) - 1)) << (slots - index)
+            )
+            while rotated:
+                offset = (rotated & -rotated).bit_length() - 1
+                bucket = wheel[(cursor + offset) & mask]
+                earliest = None
+                for entry in bucket:
+                    if not entry[2].cancelled:
+                        time = entry[0]
+                        if earliest is None or time < earliest:
+                            earliest = time
+                if earliest is not None:
+                    # Later buckets hold strictly later ticks, so the
+                    # first bucket with a live entry bounds the wheel.
+                    if best is None or earliest < best:
+                        best = earliest
+                    break
+                rotated &= rotated - 1
+        return best
 
     def pending(self) -> int:
         """Number of (non-cancelled) queued events.
 
         O(1): a live counter maintained at schedule/cancel/fire time
-        replaces the old full-heap scan (cancelled entries stay in the
-        heap until popped, so scanning was O(n) per call).
+        replaces rescanning buckets (cancelled entries stay in their
+        bucket until drained, so scanning would be O(n) per call).
 
-        Invariant vs. :meth:`peek_time`: peeking lazily pops cancelled
-        entries off the *heap*, but never touches this counter — the
-        cancel that marked them already decremented it.  Any
-        interleaving of schedule / cancel / peek therefore keeps
-        ``pending()`` exact (the churn test in
-        ``tests/test_sim_engine.py`` drives this directly).
+        Invariant vs. :meth:`peek_time`: peeking scans *around*
+        cancelled entries (and lazily pops them off the overflow
+        heap), but never touches this counter — the cancel that marked
+        them already decremented it.  Any interleaving of schedule /
+        cancel / peek therefore keeps ``pending()`` exact (the churn
+        test in ``tests/test_sim_engine.py`` drives this directly).
         """
         return self._live

@@ -84,6 +84,15 @@ class Link:
         self._queue: Deque[Tuple[Packet, int]] = deque()
         self._queued_bytes = 0
         self._busy = False
+        #: Analytic fast-path state (clean links only): the time the
+        #: line finishes serializing everything accepted so far, and a
+        #: ledger of ``(serialize_start, size)`` for packets that are
+        #: still *waiting* (start > now).  Waiting bytes stay counted in
+        #: ``_queued_bytes`` so the overflow check and ``queue_depth``
+        #: match the store-and-forward model exactly; entries are
+        #: drained lazily once their serialize slot begins.
+        self._line_free_at = 0.0
+        self._inflight: Deque[Tuple[float, int]] = deque()
 
     def add_tap(self, tap: LinkTap) -> None:
         """Attach an observer called for every packet event."""
@@ -114,22 +123,114 @@ class Link:
             self.stats.dropped_mtu += 1
             self._notify("drop-mtu", packet)
             return False
+        sim = self.sim
+        now = sim.now
+        inflight = self._inflight
+        if inflight:
+            # Retire analytic entries whose serialize slot has begun;
+            # they no longer occupy queue space.
+            queued = self._queued_bytes
+            while inflight and inflight[0][0] <= now:
+                queued -= inflight.popleft()[1]
+            self._queued_bytes = queued
         if self._queued_bytes + size > self.queue_bytes:
             self.stats.dropped_queue += 1
             self._notify("drop-queue", packet)
             return False
-        if self.taps:
-            self._notify("tx", packet)
-        if not self._busy:
-            # Idle line ⇒ the queue is empty: put the packet straight on
-            # the wire instead of round-tripping it through the deque.
-            self._busy = True
-            serialization = wire_bytes_for_payload(size) * 8 / self.bandwidth_bps
-            self.sim.schedule_fast(serialization, self._serialized, packet, size)
+        if self.taps or self.injector is not None or self.netem is not None or self._busy:
+            # Observed or impaired link (or the scalar machinery is mid
+            # service): run the event-per-stage store-and-forward model,
+            # which gives taps and fault hooks their exact firing points.
+            if self.taps:
+                self._notify("tx", packet)
+            if not self._busy:
+                if self._line_free_at > now:
+                    # Analytic packets are still serializing (a tap or
+                    # fault was attached mid-flight): hold this packet
+                    # until the line frees, then resume scalar service.
+                    self._busy = True
+                    self._queue.append((packet, size))
+                    self._queued_bytes += size
+                    sim.schedule_fast(self._line_free_at - now, self._start_next)
+                    return True
+                # Idle line ⇒ the queue is empty: put the packet straight
+                # on the wire instead of round-tripping it through the deque.
+                self._busy = True
+                serialization = wire_bytes_for_payload(size) * 8 / self.bandwidth_bps
+                sim.schedule_fast(serialization, self._serialized, packet, size)
+                return True
+            self._queue.append((packet, size))
+            self._queued_bytes += size
             return True
-        self._queue.append((packet, size))
-        self._queued_bytes += size
+        # Clean unobserved link: the full pipeline is analytic — one
+        # delivery event per packet instead of serialize/dequeue/deliver.
+        start = self._line_free_at
+        if start <= now:
+            start = now
+        else:
+            inflight.append((start, size))
+            self._queued_bytes += size
+        end = start + wire_bytes_for_payload(size) * 8 / self.bandwidth_bps
+        self._line_free_at = end
+        sim.schedule_fast(end - now + self.delay, self._deliver_analytic, packet, size)
         return True
+
+    def transmit_burst(self, packets: "List[Packet]") -> int:
+        """Enqueue a burst of packets; returns how many were accepted.
+
+        Per-packet semantics are exactly :meth:`transmit` in order, but
+        on a clean unobserved link the analytic fast path runs with the
+        per-call lookups (sim clock, bandwidth, queue check state)
+        hoisted out of the loop — the batch-dequeue boundary hands the
+        link a whole poll burst in one call.
+        """
+        if self.taps or self.injector is not None or self.netem is not None or self._busy:
+            accepted = 0
+            transmit = self.transmit
+            for packet in packets:
+                if transmit(packet):
+                    accepted += 1
+            return accepted
+        sim = self.sim
+        now = sim.now
+        schedule = sim.schedule_fast
+        stats = self.stats
+        mtu = self.mtu
+        delay = self.delay
+        bandwidth_bps = self.bandwidth_bps
+        inflight = self._inflight
+        queued = self._queued_bytes
+        if inflight:
+            while inflight and inflight[0][0] <= now:
+                queued -= inflight.popleft()[1]
+        queue_limit = self.queue_bytes
+        line_free_at = self._line_free_at
+        accepted = 0
+        for packet in packets:
+            size = packet.total_len
+            if size > mtu:
+                stats.dropped_mtu += 1
+                self._notify("drop-mtu", packet)
+                continue
+            if queued + size > queue_limit:
+                stats.dropped_queue += 1
+                self._notify("drop-queue", packet)
+                continue
+            start = line_free_at
+            if start <= now:
+                start = now
+            else:
+                inflight.append((start, size))
+                queued += size
+            # Same expression (and rounding) as the scalar path: the
+            # delivery timestamps must be bit-identical either way.
+            end = start + wire_bytes_for_payload(size) * 8 / bandwidth_bps
+            line_free_at = end
+            schedule(end - now + delay, self._deliver_analytic, packet, size)
+            accepted += 1
+        self._queued_bytes = queued
+        self._line_free_at = line_free_at
+        return accepted
 
     def _start_next(self) -> None:
         if not self._queue:
@@ -186,10 +287,30 @@ class Link:
             self._notify("rx", packet)
         self.dst.deliver(packet, size)
 
+    def _deliver_analytic(self, packet: Packet, size: int) -> None:
+        # Analytic packets charge ``transmitted`` here rather than at
+        # serialize-end (there is no serialize event); totals agree with
+        # the scalar model once the simulation drains.
+        stats = self.stats
+        stats.transmitted += 1
+        stats.delivered += 1
+        stats.bytes_delivered += size
+        packet.timestamp = self.sim.now
+        if self.taps:
+            self._notify("rx", packet)
+        self.dst.deliver(packet, size)
+
     @property
     def queue_depth(self) -> int:
         """Packets currently waiting (excluding the one on the wire)."""
-        return len(self._queue)
+        inflight = self._inflight
+        if inflight:
+            now = self.sim.now
+            queued = self._queued_bytes
+            while inflight and inflight[0][0] <= now:
+                queued -= inflight.popleft()[1]
+            self._queued_bytes = queued
+        return len(self._queue) + len(inflight)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -154,3 +154,58 @@ def test_cli_bench_quick_subset(tmp_path):
     report = json.loads(out.read_text())
     validate_report(report)
     assert report["results"][0]["bench"] == "checksum"
+
+
+def test_bench_names_cover_the_batched_catalog():
+    # PR 8 additions: the batched-datapath twin benches and the event
+    # wheel churn bench must stay in the catalog (dropping one is how a
+    # deleted fast path escapes the regression gate).
+    names = bench_names()
+    for required in ("gateway_stream", "gateway_world_batched", "event_wheel"):
+        assert required in names
+
+
+def test_profile_benchmark_is_deterministic_and_well_formed():
+    from repro.perf import format_profile, profile_benchmark
+
+    first = profile_benchmark("event_wheel", quick=True, top=10)
+    second = profile_benchmark("event_wheel", quick=True, top=10)
+    assert first["bench"] == "event_wheel"
+    assert first["packets"] > 0
+    assert 0 < len(first["rows"]) <= 10
+    for row in first["rows"]:
+        assert set(row) == {"ncalls", "tottime", "cumtime", "function"}
+        assert row["ncalls"] >= 1
+    # The workload is seeded: call counts replay exactly.  Row *order*
+    # is cumtime-sorted (a timing, not a count), so compare the
+    # name -> ncalls map over the rows both runs ranked.
+    first_counts = {r["function"]: r["ncalls"] for r in first["rows"]}
+    second_counts = {r["function"]: r["ncalls"] for r in second["rows"]}
+    shared = set(first_counts) & set(second_counts)
+    assert shared, "no overlap between two profiles of the same seeded bench"
+    for name in shared:
+        assert first_counts[name] == second_counts[name], name
+    text = format_profile(first)
+    assert "event_wheel" in text and "cumtime" in text
+
+
+def test_speedup_table_renders_measured_rows_only():
+    from repro.perf.compare import CompareResult, speedup_table
+
+    rows = [
+        CompareResult(bench="a", base_pps=100.0, new_pps=200.0, ratio=2.0,
+                      regressed=False, base_ns=10_000_000.0, new_ns=5_000_000.0),
+        CompareResult(bench="gone", base_pps=100.0, new_pps=0.0, ratio=0.0,
+                      regressed=True, missing=True),
+    ]
+    table = speedup_table(rows)
+    assert "| a |" in table and "2.00x" in table
+    assert "gone" not in table  # missing benches are gate failures, not rows
+
+
+def test_compare_line_reports_speedup_column():
+    from repro.perf.compare import CompareResult
+
+    result = CompareResult(bench="a", base_pps=100.0, new_pps=150.0,
+                           ratio=1.5, regressed=False)
+    assert "speedup" in result.line() and "1.50x" in result.line()

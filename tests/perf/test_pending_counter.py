@@ -1,25 +1,28 @@
 """Simulator.pending() is an O(1) counter — assert it never drifts.
 
 The counter is maintained at schedule, cancel, and fire time; the old
-implementation rescanned the heap.  Under cancel churn (including
+implementation rescanned the queue.  Under cancel churn (including
 cancel-after-fire and double-cancel) the counter must agree with a
-ground-truth heap scan at every step.
+ground-truth scan of every queue structure at every step.
 """
 
+import itertools
 import random
 
 from repro.sim import Simulator
 
 
 def _heap_scan(sim):
-    """Ground truth: live entries still sitting in the heap.
+    """Ground truth: live entries still sitting anywhere in the queue.
 
     Fired entries are popped before their callback runs, so anything
-    still in the heap is live unless its handle was cancelled.  (Fast
-    events share one inert handle whose ``cancelled`` flag never sets,
-    so they always count — exactly the live semantics.)
+    still in a wheel bucket or the overflow heap is live unless its
+    handle was cancelled.  (Fast events share one inert handle whose
+    ``cancelled`` flag never sets, so they always count — exactly the
+    live semantics.)
     """
-    return sum(1 for (_, _, handle, _, _) in sim._queue if not handle.cancelled)
+    entries = itertools.chain(sim._overflow, *sim._wheel)
+    return sum(1 for (_, _, handle, _, _) in entries if not handle.cancelled)
 
 
 def test_pending_counts_scheduled_events():

@@ -238,3 +238,76 @@ def test_peek_pending_churn_property(ops):
             expected = min((h.time for h in live), default=None)
             assert sim.peek_time() == expected
         assert sim.pending() == len(live)
+
+
+# ---------------------------------------------------------------------------
+# schedule_fast contract guard
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_fast_returns_no_handle():
+    sim = Simulator()
+    assert sim.schedule_fast(1.0, lambda: None) is None
+
+
+def test_schedule_fast_cannot_be_cancelled():
+    # Fast events expose no handle — there is nothing to cancel.  Even
+    # heavy cancel churn on surrounding handle-carrying events must
+    # leave every fast event counted, peekable, and fired.
+    sim = Simulator()
+    fired = []
+    sim.schedule_fast(1.0, fired.append, "x")
+    victims = [sim.schedule(0.5 + i * 0.01, fired.append, f"v{i}") for i in range(20)]
+    assert sim.pending() == 21
+    for victim in victims:
+        victim.cancel()
+    assert sim.pending() == 1, "cancel churn leaked into the fast event count"
+    assert sim.peek_time() == 1.0
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_schedule_fast_visible_to_pending_and_peek():
+    sim = Simulator()
+    sim.schedule_fast(2.0, lambda: None)
+    handle = sim.schedule(1.0, lambda: None)
+    assert sim.pending() == 2
+    assert sim.peek_time() == 1.0
+    handle.cancel()
+    # peek skips the cancelled handle-carrying event but must still
+    # see the fast event behind it.
+    assert sim.peek_time() == 2.0
+    assert sim.pending() == 1
+
+
+def test_schedule_fast_interleaves_in_time_seq_order():
+    # Fast and handle-carrying events at equal times fire in exact
+    # scheduling (seq) order: the fast path buys no reordering.
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "slow-a")
+    sim.schedule_fast(1.0, fired.append, "fast-b")
+    sim.schedule(1.0, fired.append, "slow-c")
+    sim.schedule_fast(0.5, fired.append, "fast-first")
+    sim.run()
+    assert fired == ["fast-first", "slow-a", "fast-b", "slow-c"]
+
+
+def test_schedule_fast_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule_fast(-0.1, lambda: None)
+
+
+def test_schedule_fast_far_future_overflow_heap():
+    # Beyond the wheel horizon events land in the overflow heap; they
+    # must still honour the same ordering and visibility contract.
+    sim = Simulator()
+    fired = []
+    horizon = sim._slots / sim._res_inv
+    sim.schedule_fast(horizon * 10, fired.append, "far")
+    sim.schedule_fast(horizon / 2, fired.append, "near")
+    assert sim.pending() == 2
+    assert sim.peek_time() == pytest.approx(horizon / 2)
+    sim.run()
+    assert fired == ["near", "far"]

@@ -1,0 +1,115 @@
+"""Batched dispatch equivalence: the vectorized worker path is a pure
+Python-overhead optimization.
+
+``GatewayWorker.process_batch`` amortizes the per-packet prologue
+(mode/tracer/span checks, flow-table lookups) over a poll burst.  The
+*modeled* outcome — every stat counter, every charged cycle, every
+emitted byte — must be indistinguishable from packet-at-a-time
+``process``; the only permitted difference is egress *interleaving*
+(flow-grouped within a batch) and which process-global IP IDs merged
+packets happen to draw.
+"""
+
+import random
+
+from repro.core.config import GatewayConfig
+from repro.core.dispatch import GatewayDatapath
+from repro.core.worker import Bound, GatewayWorker, WorkerMode
+from repro.workload import interleave, make_tcp_sources
+
+
+def _stream(count=2000):
+    down = make_tcp_sources(12, 1448, tag=Bound.INBOUND)
+    up = make_tcp_sources(12, 8948, tag=Bound.OUTBOUND, base_port=30000,
+                          client_net="10.1.0", server_net="198.51.100")
+    rng = random.Random(0x5EED)
+    return list(interleave(down * 2 + up, count, rng, mean_run=8.0))
+
+
+def _flow_outputs(outputs):
+    """Egress grouped per flow, with process-global IP IDs normalized.
+
+    Merged/split packets draw fresh IDs from one process-wide counter;
+    the batch path visits flows in grouped order, so the *assignment*
+    of IDs across flows shifts while every byte of protocol content
+    stays equal.  Zeroing the ID before comparison pins exactly that.
+    """
+    flows = {}
+    for packet in outputs:
+        copy = packet.copy()
+        copy.ip.identification = 0
+        flows.setdefault(packet.flow_key(), []).append(copy.to_bytes())
+    return flows
+
+
+def _run(batched):
+    datapath = GatewayDatapath(GatewayConfig())
+    outputs = datapath.process_stream(_stream(), batched=batched)
+    return datapath, outputs
+
+
+def test_batched_stream_matches_scalar_stream():
+    scalar_dp, scalar_out = _run(batched=False)
+    batched_dp, batched_out = _run(batched=True)
+
+    scalar_stats = scalar_dp.combined_stats()
+    batched_stats = batched_dp.combined_stats()
+    for field in vars(scalar_stats):
+        s, b = getattr(scalar_stats, field), getattr(batched_stats, field)
+        if isinstance(s, (int, bool)):
+            assert s == b, f"stat {field}: scalar={s} batched={b}"
+
+    scalar_acct = scalar_dp.combined_account()
+    batched_acct = batched_dp.combined_account()
+    assert batched_acct.cycles == scalar_acct.cycles
+    assert abs(batched_acct.mem_bytes - scalar_acct.mem_bytes) <= max(
+        1e-6 * scalar_acct.mem_bytes, 1e-6
+    )
+    assert batched_acct.goodput_bytes == scalar_acct.goodput_bytes
+
+    assert _flow_outputs(batched_out) == _flow_outputs(scalar_out)
+
+
+def test_batched_per_worker_accounts_match():
+    scalar_dp, _ = _run(batched=False)
+    batched_dp, _ = _run(batched=True)
+    for scalar_w, batched_w in zip(scalar_dp.workers, batched_dp.workers):
+        assert batched_w.account.cycles == scalar_w.account.cycles, (
+            f"worker {scalar_w.index} cycle drift"
+        )
+        assert batched_w.stats.rx_packets == scalar_w.stats.rx_packets
+
+
+def test_batch_falls_back_per_packet_outside_normal_mode():
+    # Degraded/bypass modes and attached tracers take the scalar path
+    # packet-by-packet; outputs must equal calling process() directly.
+    config = GatewayConfig()
+    worker_a = GatewayWorker(config, index=0)
+    worker_b = GatewayWorker(config, index=0)
+    worker_a.mode = WorkerMode.BYPASS
+    worker_b.mode = WorkerMode.BYPASS
+    stream = _stream(count=200)
+    batch_out = worker_a.process_batch([p for p, _ in stream], Bound.INBOUND)
+    scalar_out = []
+    for packet, _ in stream:
+        scalar_out.extend(worker_b.process(packet, Bound.INBOUND))
+    assert [p.to_bytes() for p in batch_out] == [p.to_bytes() for p in scalar_out]
+    assert worker_a.stats.rx_packets == worker_b.stats.rx_packets
+
+
+def test_mid_batch_elephant_promotion_matches_scalar():
+    # Promotion thresholds are evaluated per packet inside the batch
+    # (not once per group), so a flow crossing the elephant threshold
+    # mid-burst promotes at the same packet either way.
+    scalar_w = GatewayWorker(GatewayConfig(), index=0)
+    batched_w = GatewayWorker(GatewayConfig(), index=0)
+    sources = make_tcp_sources(1, 1448, tag=Bound.INBOUND)
+    packets = [sources[0].next_packet() for _ in range(600)]
+    clones = [p.copy() for p in packets]
+    for packet in packets:
+        scalar_w.process(packet, Bound.INBOUND)
+    batched_w.process_batch(clones, Bound.INBOUND)
+    assert (
+        batched_w.classifier.promotions == scalar_w.classifier.promotions
+    )
+    assert batched_w.classifier.promotions >= 1, "workload never promoted"
