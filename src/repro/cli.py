@@ -176,6 +176,27 @@ def build_parser() -> argparse.ArgumentParser:
                              "a table")
     canary.add_argument("--out", default=None,
                         help="write the output here instead of stdout")
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="sharded gateway fleet: pkts/s scaling across worker counts "
+             "plus a worker-loss-under-load drill",
+    )
+    fleet.add_argument("--workers", default="1,2,4,8",
+                       help="comma-separated shard counts (default 1,2,4,8)")
+    fleet.add_argument("--quick", action="store_true",
+                       help="smaller stream (CI smoke mode)")
+    fleet.add_argument("--seed", type=int, default=0xC17)
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the scaling report as JSON")
+    fleet.add_argument("--out", default=None,
+                       help="write the output here instead of stdout")
+    fleet.add_argument("--loss-drill", action="store_true",
+                       help="also run crash + maintenance shard-loss "
+                            "scenarios and report the oracle verdict")
+    fleet.add_argument("--min-speedup-4", type=float, default=1.6,
+                       help="fail if modeled speedup at 4 shards is below "
+                            "this (default 1.6; 0 disables)")
     return parser
 
 
@@ -688,8 +709,69 @@ def _cmd_canary(args) -> int:
     return 1 if report["verdict"] == "ROLLED_BACK" else 0
 
 
+def _cmd_fleet(args) -> int:
+    import json
+
+    from .fleet.chaos import run_loss_scenario
+    from .perf import fleet_world_report, format_fleet_report
+
+    try:
+        worker_counts = tuple(
+            int(piece) for piece in args.workers.split(",") if piece.strip()
+        )
+    except ValueError:
+        print(f"bad --workers {args.workers!r}", file=sys.stderr)
+        return 2
+    report = fleet_world_report(
+        worker_counts=worker_counts, quick=args.quick, seed=args.seed,
+    )
+    failures = 0
+    if args.min_speedup_4 > 0:
+        for row in report["rows"]:
+            if row["shards"] == 4 and row["speedup_vs_1"] < args.min_speedup_4:
+                print(
+                    f"FAIL: modeled speedup at 4 shards "
+                    f"{row['speedup_vs_1']:.2f}x < {args.min_speedup_4}x",
+                    file=sys.stderr,
+                )
+                failures += 1
+
+    drill_results = []
+    if args.loss_drill:
+        for profile, mode in (("mixed", "crash"), ("mixed", "maintenance")):
+            result = run_loss_scenario(profile, args.seed, loss_mode=mode)
+            drill_results.append(result)
+            if not result.ok:
+                failures += 1
+
+    if args.json:
+        payload = dict(report)
+        if drill_results:
+            payload["loss_drill"] = [
+                {
+                    "profile": r.profile, "loss_mode": r.loss_mode,
+                    "victim": r.victim, "flows_migrated": r.flows_migrated,
+                    "digest": r.digest, "ok": r.ok,
+                    "violations": list(r.violations),
+                }
+                for r in drill_results
+            ]
+        _emit_text(json.dumps(payload, indent=2), args.out, "fleet report")
+    else:
+        lines = [format_fleet_report(report)]
+        for result in drill_results:
+            lines.append(
+                f"loss drill ({result.loss_mode}): victim shard "
+                f"{result.victim}, {result.flows_migrated} flows migrated, "
+                f"{'ok' if result.ok else 'VIOLATIONS: ' + '; '.join(result.violations)}"
+            )
+        _emit_text("\n".join(lines), args.out, "fleet report")
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "gateway": _cmd_gateway,
+    "fleet": _cmd_fleet,
     "attacks": _cmd_attacks,
     "canary": _cmd_canary,
     "pmtud": _cmd_pmtud,

@@ -57,6 +57,11 @@ class GatewayConfig:
     nic_memory_bytes: int = 2 * 1024 * 1024
     baseline_gro: bool = False
     merge_contexts_per_worker: int = 4096
+    #: LRU bound on each worker's flow table.  The single-gateway
+    #: default is effectively unbounded; fleet shards run much tighter
+    #: tables so eviction policy (not memory growth) absorbs city-scale
+    #: flow churn.
+    flow_table_capacity: int = 1_000_000
     workers: int = 8
     poll_batch: int = 64
     #: Lifetime of learned PMTU-cache entries (resilience layer).
@@ -72,6 +77,8 @@ class GatewayConfig:
             raise ValueError(f"iMTU ({self.imtu}) must exceed eMTU ({self.emtu})")
         if self.emtu < 576:
             raise ValueError("eMTU below the IPv4 minimum of 576")
+        if self.flow_table_capacity <= 0:
+            raise ValueError("flow_table_capacity must be positive")
 
     @property
     def imtu_tcp_payload(self) -> int:

@@ -107,25 +107,73 @@ class FlowTable:
         ]
 
     def restore(self, records: list) -> None:
-        """Replace the table's contents with *records* from snapshot()."""
+        """Replace the table's contents with *records* from snapshot().
+
+        The records' LRU order is preserved.  When there are more
+        records than this table can hold — failover onto a standby
+        configured with a smaller table — the excess is evicted
+        LRU-first through ``on_evict``, exactly as capacity pressure
+        would evict it, so the bound holds and the eviction counters
+        stay honest.
+        """
         self._flows.clear()
-        for (key, packets, nbytes, first_seen, last_seen,
-             is_elephant, window_packets, window_start) in records:
-            state = FlowState(key, first_seen)
-            state.packets = packets
-            state.bytes = nbytes
-            state.last_seen = last_seen
-            state.is_elephant = is_elephant
-            state.window_packets = window_packets
-            state.window_start = window_start
-            self._flows[key] = state
+        for record in records:
+            self._flows[record[0]] = self._inflate(record)
+        while len(self._flows) > self.capacity:
+            _evicted_key, evicted = self._flows.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict:
+                self.on_evict(evicted)
+
+    def adopt(self, records: list) -> int:
+        """Merge snapshot *records* into the table; returns count added.
+
+        The rebalance path: a lost shard's flow records are adopted by
+        the survivors that now own those flows.  Keys already present
+        keep their live state (it is fresher than any checkpoint);
+        adopted records enter at the MRU end in record order, and the
+        capacity bound is enforced by LRU eviction through
+        ``on_evict``.
+        """
+        adopted = 0
+        for record in records:
+            if record[0] in self._flows:
+                continue
+            if len(self._flows) >= self.capacity:
+                _evicted_key, evicted = self._flows.popitem(last=False)
+                self.evictions += 1
+                if self.on_evict:
+                    self.on_evict(evicted)
+            self._flows[record[0]] = self._inflate(record)
+            adopted += 1
+        return adopted
+
+    @staticmethod
+    def _inflate(record: tuple) -> FlowState:
+        """Rebuild one FlowState from its snapshot() tuple."""
+        (key, packets, nbytes, first_seen, last_seen,
+         is_elephant, window_packets, window_start) = record
+        state = FlowState(key, first_seen)
+        state.packets = packets
+        state.bytes = nbytes
+        state.last_seen = last_seen
+        state.is_elephant = is_elephant
+        state.window_packets = window_packets
+        state.window_start = window_start
+        return state
 
     def expire_idle(self, now: float, idle_timeout: float) -> int:
-        """Drop flows idle past *idle_timeout*; returns count removed."""
+        """Drop flows idle past *idle_timeout*; returns count removed.
+
+        Expiry is an eviction: it leaves the table through ``on_evict``
+        and counts toward ``evictions``, so the exported eviction
+        metrics cover idle churn, not just capacity pressure.
+        """
         stale = [key for key, state in self._flows.items()
                  if now - state.last_seen > idle_timeout]
         for key in stale:
             state = self._flows.pop(key)
+            self.evictions += 1
             if self.on_evict:
                 self.on_evict(state)
         return len(stale)

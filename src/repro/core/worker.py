@@ -77,7 +77,7 @@ class GatewayWorker:
         )
         self.caravan_split = CaravanSplitEngine()
         self.mss_clamp = MssClamp(config)
-        self.flows = FlowTable(capacity=1_000_000)
+        self.flows = FlowTable(capacity=config.flow_table_capacity)
         self.classifier = FlowClassifier(
             self.flows, threshold_packets=config.elephant_threshold_packets
         )

@@ -1,0 +1,19 @@
+"""City-scale gateway fleet: sharded workers, flow steering, rebalance.
+
+The package generalizes the single PXGW instance of :mod:`repro.core`
+to a fleet of N worker shards behind a flow-consistent steering stage,
+with bounded per-shard flow tables, checkpointed shard-loss rebalance,
+and health-driven drain/rejoin (reusing :mod:`repro.resilience`).
+"""
+
+from .fleet import FleetShard, GatewayFleet
+from .steering import FleetSteering
+from .supervisor import FleetSupervisor, ShardPort
+
+__all__ = [
+    "FleetShard",
+    "FleetSteering",
+    "FleetSupervisor",
+    "GatewayFleet",
+    "ShardPort",
+]

@@ -1,0 +1,454 @@
+"""The horizontal gateway tier: N worker shards behind flow steering.
+
+A :class:`GatewayFleet` is the city-scale generalization of
+:class:`repro.core.GatewayDatapath`: instead of co-located worker cores
+behind one RSS indirection table, it runs N independent
+:class:`~repro.core.worker.GatewayWorker` shards behind the
+rendezvous-hash :class:`~.steering.FleetSteering` stage, each with a
+*bounded* flow table whose LRU eviction (capacity and idle expiry)
+absorbs city-scale flow churn.
+
+What the fleet adds over the single instance:
+
+* **shard loss** — :meth:`~GatewayFleet.fail_shard` retires a shard
+  from steering and redistributes its checkpointed flow records onto
+  the survivors *that now own those flows* (the rendezvous map decides,
+  so a rebalanced flow's next packet finds its state exactly where
+  steering sends it).  The checkpoint's pending half-merged packets are
+  flushed — never dropped — and its counters fold into a fleet-level
+  retired aggregate so the conservation identities keep balancing.
+* **health-driven drain** — a shard pushed to BYPASS by its
+  :class:`~repro.resilience.health.HealthMonitor` stops receiving new
+  flows (:meth:`drain_shard`); on recovery, :meth:`rejoin_shard` wins
+  back exactly the flows the rendezvous map returns to it, with the
+  survivors donating the corresponding records.
+* **fleet conservation** — the per-worker identities extend to the
+  tier: live payload in == live payload out + still-buffered, summed
+  over live shards plus the retired aggregate.
+
+Checkpoints reuse PR 2's :func:`repro.resilience.failover.checkpoint_worker`
+wholesale; the supervisor module wires the PR 2 ``HealthMonitor`` /
+``FailoverManager`` classes themselves onto shards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.caravan import caravan_inner_count, is_caravan
+from ..core.config import GatewayConfig
+from ..core.stats import GatewayStats
+from ..core.worker import GatewayWorker
+from ..cpu import DEFAULT_GATEWAY_COSTS, CpuSpec, CycleAccount, GatewayCosts
+from ..packet import Packet
+from ..resilience.failover import WorkerCheckpoint, checkpoint_worker
+from .steering import FleetSteering
+
+__all__ = ["FleetShard", "GatewayFleet"]
+
+
+class FleetShard:
+    """One fleet member: a gateway worker plus its lifecycle state."""
+
+    def __init__(self, worker: GatewayWorker, shard_id: int):
+        self.worker = worker
+        self.id = shard_id
+        self.alive = True
+        #: True while health has drained the shard out of steering.
+        self.drained = False
+        self.checkpoint: Optional[WorkerCheckpoint] = None
+        self.checkpoints_taken = 0
+        #: Flow records this shard adopted from rebalances.
+        self.adopted_flows = 0
+        #: Flow records this shard donated to rebalances.
+        self.donated_flows = 0
+
+    @property
+    def in_steering(self) -> bool:
+        return self.alive and not self.drained
+
+
+class GatewayFleet:
+    """N gateway shards behind a flow-consistent steering stage."""
+
+    def __init__(
+        self,
+        config: GatewayConfig,
+        shards: int = 4,
+        costs: GatewayCosts = DEFAULT_GATEWAY_COSTS,
+        steering_seed: int = 0xF1EE7,
+        flow_idle_timeout: float = 30.0,
+    ):
+        if shards <= 0:
+            raise ValueError("need at least one shard")
+        self.config = config
+        self.costs = costs
+        self.flow_idle_timeout = flow_idle_timeout
+        self.shards = [
+            FleetShard(GatewayWorker(config, costs=costs, index=index), index)
+            for index in range(shards)
+        ]
+        self.steering = FleetSteering(shards, seed=steering_seed)
+        #: Counters of shards that died, folded so fleet-level
+        #: conservation keeps balancing after a loss.
+        self.retired = GatewayStats()
+        self.rebalances = 0
+        self.flows_migrated = 0
+        self.shard_losses = 0
+        self._virtual_now = 0.0
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def shard_for(self, packet: Packet) -> FleetShard:
+        """The shard steering assigns to *packet*."""
+        key = packet.flow_key()
+        if key is None:
+            return self.shards[self.steering.shard_for_unkeyed()]
+        return self.shards[self.steering.shard_for(key)]
+
+    def process(self, packet: Packet, bound: str, now: float = 0.0) -> List[Packet]:
+        """Process one packet on its steering-assigned shard."""
+        return self.shard_for(packet).worker.process(packet, bound, now)
+
+    def process_batch(
+        self, packets: "List[Tuple[Packet, str]]", now: float = 0.0
+    ) -> List[Packet]:
+        """Steer one poll burst and run each share as a worker batch.
+
+        The fleet twin of
+        :meth:`repro.core.GatewayDatapath.process_batch`: packets bucket
+        per ``(shard, bound)`` in arrival order, each bucket runs
+        through :meth:`~repro.core.worker.GatewayWorker.process_batch`,
+        and egress comes out bucket-grouped in first-seen order.
+        """
+        shares: Dict[Tuple[int, str], List[Packet]] = {}
+        shard_for = self.shard_for
+        for packet, bound in packets:
+            slot = (shard_for(packet).id, bound)
+            share = shares.get(slot)
+            if share is None:
+                shares[slot] = [packet]
+            else:
+                share.append(packet)
+        outputs: List[Packet] = []
+        shards = self.shards
+        for (index, bound), share in shares.items():
+            outputs.extend(shards[index].worker.process_batch(share, bound, now))
+        return outputs
+
+    def end_batch(self, now: float) -> List[Packet]:
+        """Poll-batch boundary on every live shard (merge-timeout flush)."""
+        outputs: List[Packet] = []
+        for shard in self.shards:
+            if shard.alive:
+                outputs.extend(shard.worker.end_batch(now))
+        return outputs
+
+    def process_stream(
+        self,
+        stream: "Iterable[Tuple[Packet, str]]",
+        batch_interval: float = 1.5e-6,
+        final_flush: bool = True,
+        on_batch=None,
+    ) -> List[Packet]:
+        """Drive a (packet, bound) stream through the fleet in poll batches.
+
+        ``on_batch(batch_index, now)``, when given, fires after every
+        poll batch — the chaos harness uses it to kill a shard
+        mid-burst; anything it returns is ignored, but packets it
+        flushes via fleet methods land in the shared egress list the
+        caller gets back (fail_shard returns them; see
+        :mod:`repro.fleet.chaos`).
+        """
+        outputs: List[Packet] = []
+        now = self._virtual_now
+        poll_batch = self.config.poll_batch
+        chunk: List[Tuple[Packet, str]] = []
+        append = chunk.append
+        batch_index = 0
+        for item in stream:
+            append(item)
+            if len(chunk) >= poll_batch:
+                outputs.extend(self.process_batch(chunk, now))
+                chunk = []
+                append = chunk.append
+                now += batch_interval
+                outputs.extend(self.end_batch(now))
+                if on_batch is not None:
+                    flushed = on_batch(batch_index, now)
+                    if flushed:
+                        outputs.extend(flushed)
+                batch_index += 1
+        if chunk:
+            outputs.extend(self.process_batch(chunk, now))
+        if final_flush:
+            now += self.config.merge_timeout * 2
+            outputs.extend(self.end_batch(now))
+        self._virtual_now = now
+        return outputs
+
+    def expire_idle(self, now: float) -> int:
+        """Expire idle flows on every live shard; returns total removed."""
+        removed = 0
+        for shard in self.shards:
+            if shard.alive:
+                removed += shard.worker.flows.expire_idle(now, self.flow_idle_timeout)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Checkpoints and shard loss
+    # ------------------------------------------------------------------
+    def checkpoint_shard(self, index: int, now: float) -> WorkerCheckpoint:
+        """Capture one live shard (reuses PR 2's checkpoint format)."""
+        shard = self.shards[index]
+        if not shard.alive:
+            raise ValueError(f"shard {index} is not alive")
+        shard.checkpoint = checkpoint_worker(shard.worker, now)
+        shard.checkpoints_taken += 1
+        return shard.checkpoint
+
+    def checkpoint_all(self, now: float) -> None:
+        """Periodic fleet-wide checkpoint sweep."""
+        for shard in self.shards:
+            if shard.alive:
+                self.checkpoint_shard(shard.id, now)
+
+    def fail_shard(
+        self,
+        index: int,
+        now: float,
+        checkpoint: Optional[WorkerCheckpoint] = None,
+    ) -> List[Packet]:
+        """Kill shard *index* and rebalance it onto the survivors.
+
+        Without *checkpoint* (planned maintenance / the zero-loss
+        drill) the dying shard is checkpointed at this instant, so
+        nothing at all is lost.  With it (the crash case, normally the
+        shard's last periodic capture) traffic processed after the
+        capture is not replayed; end-to-end retransmission covers the
+        staleness window, exactly as single-gateway failover does.
+
+        Returns the checkpoint's pending half-merged packets — the
+        caller must forward them (they are flushed, never dropped).
+        Flow records redistribute to whichever survivor the rendezvous
+        map now assigns each flow, so affinity survives the loss.
+        """
+        shard = self.shards[index]
+        if not shard.alive:
+            raise ValueError(f"shard {index} is already dead")
+        if checkpoint is None:
+            checkpoint = checkpoint_worker(shard.worker, now)
+        if not shard.drained:
+            self.steering.remove(index)
+        shard.alive = False
+        shard.drained = False
+        self.shard_losses += 1
+        # The dead shard's accounting survives in the retired aggregate:
+        # the checkpoint's counters are self-consistent (payload_in
+        # includes the pending bytes), and crediting the re-emitted
+        # pending as egress balances it exactly — mirroring what
+        # restore_worker does when a standby adopts a checkpoint.
+        self.retired.merge(checkpoint.stats)
+        flushed: List[Packet] = []
+        for packet in checkpoint.pending:
+            self.retired.tx_packets += 1
+            if packet.is_tcp:
+                self.retired.tcp_payload_out += len(packet.payload)
+            elif packet.is_udp:
+                self.retired.udp_datagrams_out += caravan_inner_count(packet)
+                if is_caravan(packet):
+                    self.retired.caravans_built += 1
+            flushed.append(packet)
+        if shard.worker.spans is not None:
+            # Buffered-byte spans on the dead shard settle as failover
+            # closures; the survivors' trackers are untouched.
+            shard.worker.spans.flush_fifos(now, outcome="failover")
+        self._rebalance_records(checkpoint.flows, donor=shard)
+        return flushed
+
+    def _rebalance_records(self, records: List[tuple], donor: FleetShard) -> None:
+        """Hand flow records to the shards steering now assigns them to."""
+        if not records:
+            return
+        buckets: Dict[int, List[tuple]] = {}
+        steering = self.steering
+        for record in records:
+            target = steering.shard_for(record[0])
+            bucket = buckets.get(target)
+            if bucket is None:
+                buckets[target] = [record]
+            else:
+                bucket.append(record)
+        for target, share in buckets.items():
+            adopted = self.shards[target].worker.flows.adopt(share)
+            self.shards[target].adopted_flows += adopted
+        donor.donated_flows += len(records)
+        self.rebalances += 1
+        self.flows_migrated += len(records)
+
+    # ------------------------------------------------------------------
+    # Health-driven drain / rejoin
+    # ------------------------------------------------------------------
+    def drain_shard(self, index: int, now: float) -> int:
+        """Steer a (BYPASS-health) shard's flows away; returns count moved.
+
+        The shard stays alive — its datapath mode change (and the
+        zero-loss merge flush that goes with it) is the health
+        monitor's job — but new traffic re-steers to the survivors and
+        its flow records follow, so the classifier verdicts survive.
+        """
+        shard = self.shards[index]
+        if not shard.alive or shard.drained:
+            return 0
+        self.steering.remove(index)
+        shard.drained = True
+        records = shard.worker.flows.snapshot()
+        for record in records:
+            shard.worker.flows.remove(record[0])
+        self._rebalance_records(records, donor=shard)
+        return len(records)
+
+    def rejoin_shard(self, index: int, now: float) -> int:
+        """Return a recovered shard to steering; returns flows won back.
+
+        The rendezvous map moves exactly the flows whose top weight the
+        shard holds; the survivors donate those records back, so the
+        returning shard starts warm instead of re-classifying its whole
+        flow population.
+        """
+        shard = self.shards[index]
+        if not shard.alive or not shard.drained:
+            return 0
+        self.steering.restore(index)
+        shard.drained = False
+        returned: List[tuple] = []
+        for donor in self.shards:
+            if donor.id == index or not donor.alive:
+                continue
+            donated = [
+                record
+                for record in donor.worker.flows.snapshot()
+                if self.steering.shard_for(record[0]) == index
+            ]
+            for record in donated:
+                donor.worker.flows.remove(record[0])
+            if donated:
+                donor.donated_flows += len(donated)
+                returned.extend(donated)
+        if returned:
+            adopted = shard.worker.flows.adopt(returned)
+            shard.adopted_flows += adopted
+            self.rebalances += 1
+            self.flows_migrated += len(returned)
+        return len(returned)
+
+    # ------------------------------------------------------------------
+    # Aggregation and conservation
+    # ------------------------------------------------------------------
+    def live_shards(self) -> List[FleetShard]:
+        return [shard for shard in self.shards if shard.alive]
+
+    def combined_stats(self) -> GatewayStats:
+        """Aggregate stats: live shards plus the retired aggregate."""
+        total = GatewayStats()
+        for shard in self.shards:
+            if shard.alive:
+                total.merge(shard.worker.stats)
+        total.merge(self.retired)
+        return total
+
+    def combined_account(self) -> CycleAccount:
+        total = CycleAccount()
+        for shard in self.shards:
+            if shard.alive:
+                total.merge(shard.worker.account)
+        return total
+
+    def pending_tcp_bytes(self) -> int:
+        return sum(
+            shard.worker.merge.pending_bytes()
+            for shard in self.shards if shard.alive
+        )
+
+    def pending_datagrams(self) -> int:
+        return sum(
+            shard.worker.caravan_merge.pending_packets()
+            for shard in self.shards if shard.alive
+        )
+
+    def conservation_errors(self) -> "Dict[str, int]":
+        """Fleet-level conservation identity (empty dict = balanced)."""
+        return self.combined_stats().conservation_errors(
+            pending_tcp_bytes=self.pending_tcp_bytes(),
+            pending_datagrams=self.pending_datagrams(),
+        )
+
+    @property
+    def conversion_yield(self) -> float:
+        return self.combined_stats().conversion_yield
+
+    def reset_measurement(self) -> None:
+        """Zero stats/cycles keeping datapath state (bench warm-up)."""
+        for shard in self.shards:
+            shard.worker.stats = GatewayStats()
+            shard.worker.account = CycleAccount()
+        self.retired = GatewayStats()
+
+    # ------------------------------------------------------------------
+    # Modeled throughput
+    # ------------------------------------------------------------------
+    def sustainable_throughput_pps(self, spec: CpuSpec) -> float:
+        """Modeled packets/s on *spec*, one core per live shard.
+
+        Shards run on distinct cores, so wall time is the hottest
+        shard's cycle demand over the clock — the paper's §1 claim that
+        the most-loaded RX queue bounds the system, now at fleet scale.
+        Returns 0.0 for an unmeasured fleet.
+        """
+        live = self.live_shards()
+        if len(live) > spec.cores:
+            raise ValueError(
+                f"{spec.name} has {spec.cores} cores for {len(live)} live shards"
+            )
+        packets = sum(shard.worker.account.packets for shard in live)
+        if packets == 0:
+            return 0.0
+        max_cycles = max(shard.worker.account.cycles for shard in live)
+        if max_cycles <= 0:
+            return 0.0
+        return packets * spec.clock_hz / max_cycles
+
+    def shard_balance(self) -> "Dict[str, float]":
+        """Load-balance figures across live shards (1.0 = perfect)."""
+        live = self.live_shards()
+        counts = [shard.worker.stats.rx_packets for shard in live]
+        total = sum(counts)
+        if not counts or total == 0:
+            return {"max_over_mean": 0.0, "min_over_mean": 0.0}
+        mean = total / len(counts)
+        return {
+            "max_over_mean": max(counts) / mean,
+            "min_over_mean": min(counts) / mean,
+        }
+
+    def summary(self) -> "Dict[str, object]":
+        """JSON-friendly fleet digest (CLI + tests)."""
+        stats = self.combined_stats()
+        return {
+            "shards": len(self.shards),
+            "live": len(self.live_shards()),
+            "shard_losses": self.shard_losses,
+            "rebalances": self.rebalances,
+            "flows_migrated": self.flows_migrated,
+            "rx_packets": stats.rx_packets,
+            "tx_packets": stats.tx_packets,
+            "flows": sum(
+                len(shard.worker.flows) for shard in self.shards if shard.alive
+            ),
+            "evictions": sum(
+                shard.worker.flows.evictions for shard in self.shards if shard.alive
+            ),
+            "conservation_errors": self.conservation_errors(),
+            "balance": self.shard_balance(),
+        }

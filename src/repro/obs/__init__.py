@@ -34,6 +34,7 @@ from .alerts import AlertEngine, AlertRule, default_alert_rules
 from .collectors import (
     Observability,
     observe_failover,
+    observe_fleet,
     observe_gateway,
     observe_nic,
     observe_pmtud,
@@ -78,6 +79,7 @@ __all__ = [
     "default_alert_rules",
     "default_registry",
     "observe_failover",
+    "observe_fleet",
     "observe_gateway",
     "observe_nic",
     "observe_pmtud",

@@ -28,6 +28,7 @@ __all__ = [
     "Observability",
     "observe_gateway",
     "observe_failover",
+    "observe_fleet",
     "observe_nic",
     "observe_spans",
     "observe_upf",
@@ -271,6 +272,80 @@ def observe_failover(obs: Observability, manager, name: Optional[str] = None) ->
             "px_failover_checkpoint_pending_packets",
             "Pending merge packets in the last checkpoint.", gateway=label,
         ).set(len(last.pending) if last is not None else 0)
+
+    obs.registry.register_collector(collect)
+
+
+# ----------------------------------------------------------------------
+# Gateway fleet: per-shard series plus tier-level rebalance counters
+# ----------------------------------------------------------------------
+def observe_fleet(obs: Observability, fleet, name: str = "fleet0") -> None:
+    """Publish a GatewayFleet: per-shard series plus tier aggregates.
+
+    Per-shard series carry a ``shard`` label so dashboards can spot an
+    imbalanced or dying member; the dead are still scraped (frozen at
+    their final values) so a loss is visible as a flatline plus an
+    ``alive`` gauge drop, not a vanished series.
+    """
+
+    def collect(registry: MetricsRegistry) -> None:
+        for shard in fleet.shards:
+            worker = shard.worker
+            label = str(shard.id)
+
+            def counter(metric: str, value, help: str = "") -> None:
+                registry.counter(
+                    metric, help, fleet=name, shard=label
+                ).set_total(value)
+
+            counter("px_fleet_shard_rx_packets_total", worker.stats.rx_packets,
+                    "Packets steered into this shard.")
+            counter("px_fleet_shard_tx_packets_total", worker.stats.tx_packets,
+                    "Packets emitted by this shard.")
+            counter("px_fleet_shard_flow_evictions_total",
+                    worker.flows.evictions,
+                    "Flow-table evictions (capacity + idle expiry).")
+            counter("px_fleet_shard_steered_total",
+                    fleet.steering.steered[shard.id],
+                    "Steering decisions landed on this shard.")
+            counter("px_fleet_shard_adopted_flows_total", shard.adopted_flows,
+                    "Flow records adopted from rebalances.")
+            counter("px_fleet_shard_donated_flows_total", shard.donated_flows,
+                    "Flow records donated to rebalances.")
+            counter("px_fleet_shard_cycles_total", worker.account.cycles,
+                    "Modeled CPU cycles consumed by this shard.")
+            registry.gauge(
+                "px_fleet_shard_flows",
+                "Live flow records in this shard's table.",
+                fleet=name, shard=label,
+            ).set(len(worker.flows))
+            registry.gauge(
+                "px_fleet_shard_alive", "1 while the shard is alive.",
+                fleet=name, shard=label,
+            ).set(1 if shard.alive else 0)
+        registry.counter(
+            "px_fleet_rebalances_total",
+            "Flow-rebalance operations (loss, drain, rejoin).", fleet=name,
+        ).set_total(fleet.rebalances)
+        registry.counter(
+            "px_fleet_flows_migrated_total",
+            "Flow records moved between shards.", fleet=name,
+        ).set_total(fleet.flows_migrated)
+        registry.counter(
+            "px_fleet_shard_losses_total",
+            "Shards lost (crash or maintenance removal).", fleet=name,
+        ).set_total(fleet.shard_losses)
+        registry.counter(
+            "px_fleet_reshards_total",
+            "Steering membership changes applied.", fleet=name,
+        ).set_total(fleet.steering.reshards)
+        registry.counter(
+            "px_fleet_retired_tx_packets_total",
+            "Egress credited to dead shards' checkpoints.", fleet=name,
+        ).set_total(fleet.retired.tx_packets)
+        registry.gauge(
+            "px_fleet_live_shards", "Shards currently alive.", fleet=name,
+        ).set(len(fleet.live_shards()))
 
     obs.registry.register_collector(collect)
 

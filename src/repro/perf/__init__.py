@@ -33,8 +33,12 @@ from .compare import (
     speedup_table,
     validate_report,
 )
+from .fleet import FLEET_SCHEMA, fleet_world_report, format_fleet_report
 
 __all__ = [
+    "FLEET_SCHEMA",
+    "fleet_world_report",
+    "format_fleet_report",
     "BENCH_SCHEMA",
     "BenchResult",
     "bench_names",

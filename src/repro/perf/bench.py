@@ -445,6 +445,34 @@ def _prepare_event_wheel(quick: bool) -> Callable[[], int]:
     return run
 
 
+@_bench("fleet_world")
+def _prepare_fleet_world(quick: bool) -> Callable[[], int]:
+    """A 4-shard gateway fleet digesting a city-scale flow mix.
+
+    Steering (rendezvous hash per flow) plus per-shard batched
+    processing over a churning elephant/mice population with bounded
+    flow tables — the fleet tier's end-to-end cost per packet.  The
+    stream is materialized once outside the timed region; each rep
+    builds a fresh fleet so flow tables and merge engines start cold.
+    """
+    from ..core import GatewayConfig
+    from ..fleet import GatewayFleet
+    from ..workload import CityScaleProfile, CityScaleWorkload
+
+    count = 6_000 if quick else 30_000
+    profile = CityScaleProfile(
+        total_flows=count, concurrency=800, seed=0xC17,
+    )
+    stream = list(CityScaleWorkload(profile).packets(count))
+
+    def run() -> int:
+        fleet = GatewayFleet(GatewayConfig(flow_table_capacity=4096), shards=4)
+        fleet.process_stream(stream)
+        return len(stream)
+
+    return run
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------

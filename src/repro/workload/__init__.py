@@ -1,6 +1,7 @@
 """Workload generators: iPerf-style flows, packet streams, axel sessions."""
 
 from .axel import ParallelDownloadModel, SessionConfig
+from .cityscale import DIURNAL_DAY, CityScaleProfile, CityScaleWorkload
 from .datagram_app import SealedDatagramCodec, naive_merge, naive_split
 from .distributions import (
     elephant_mice_split,
@@ -19,6 +20,9 @@ from .streams import (
 )
 
 __all__ = [
+    "CityScaleProfile",
+    "CityScaleWorkload",
+    "DIURNAL_DAY",
     "TcpStreamSource",
     "UdpStreamSource",
     "interleave",

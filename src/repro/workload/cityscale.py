@@ -1,0 +1,194 @@
+"""City-scale flow workloads for the gateway fleet.
+
+The fleet experiments need what the per-figure stream generators in
+:mod:`.streams` deliberately avoid: a *large, churning* flow population.
+A city's worth of b-network traffic is hundreds of thousands of
+concurrent flows where
+
+* a few percent of flows (elephants) carry most of the bytes, with
+  heavy-tailed (Pareto) sizes — these are the flows PX merging exists
+  for;
+* the long tail (mice) is short request/response exchanges that churn
+  the flow table — these are what the eviction policy must absorb;
+* the arrival rate breathes diurnally (night troughs, evening peaks).
+
+:class:`CityScaleWorkload` synthesizes such a population as a lazy
+``(packet, bound)`` stream: memory stays O(active flows), not O(total
+flows), so a multi-hundred-thousand-flow day fits in a unit test.
+Everything is deterministic from ``profile.seed`` — the chaos corpus
+and the scaling bench replay byte-identical streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..core.config import Bound
+from ..packet import Packet
+from .streams import TcpStreamSource, UdpStreamSource
+
+__all__ = ["CityScaleProfile", "CityScaleWorkload", "DIURNAL_DAY"]
+
+#: A 24-point diurnal arrival-rate shape (relative spawn intensity per
+#: simulated "hour"): a night trough, a morning ramp, a lunchtime
+#: plateau and the evening streaming peak.
+DIURNAL_DAY: Tuple[float, ...] = (
+    0.35, 0.25, 0.20, 0.18, 0.20, 0.30,  # 00-05  night trough
+    0.50, 0.75, 0.95, 1.00, 0.95, 0.90,  # 06-11  morning ramp
+    1.00, 0.95, 0.90, 0.90, 0.95, 1.05,  # 12-17  working plateau
+    1.25, 1.45, 1.50, 1.35, 1.00, 0.60,  # 18-23  evening peak
+)
+
+
+@dataclass(frozen=True)
+class CityScaleProfile:
+    """Shape parameters of one synthetic city population."""
+
+    #: Total flows the stream may start over its lifetime.
+    total_flows: int = 200_000
+    #: Target concurrently active flows (the working set).
+    concurrency: int = 2_000
+    #: Fraction of flows that are elephants (bulk transfers).
+    elephant_fraction: float = 0.05
+    #: Fraction of flows that are UDP (caravan-eligible datagrams).
+    udp_fraction: float = 0.15
+    #: Mean packets in an elephant flow (Pareto-tailed around this).
+    elephant_mean_packets: int = 400
+    #: Packets in a mouse flow (uniform 1..2*mean).
+    mouse_mean_packets: int = 6
+    #: TCP payload per segment / UDP payload per datagram (eMTU-shaped).
+    tcp_payload: int = 1460
+    udp_payload: int = 1200
+    #: Mean back-to-back packets a flow emits before interleaving.
+    mean_run: float = 8.0
+    #: Relative spawn intensity over the stream's 24 phases.
+    diurnal: Tuple[float, ...] = DIURNAL_DAY
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.total_flows <= 0 or self.concurrency <= 0:
+            raise ValueError("flow counts must be positive")
+        if not 0.0 <= self.elephant_fraction <= 1.0:
+            raise ValueError("elephant_fraction is a fraction")
+        if not 0.0 <= self.udp_fraction <= 1.0:
+            raise ValueError("udp_fraction is a fraction")
+        if len(self.diurnal) == 0:
+            raise ValueError("diurnal shape needs at least one phase")
+
+
+def _elephant_sizes(rng: random.Random, mean_packets: int) -> Iterator[int]:
+    """Endless bounded-Pareto elephant sizes, in packets.
+
+    Same alpha=1.2 tail as :func:`..workload.distributions.pareto_flow_sizes`
+    but denominated in packets, with the scale chosen so the mean lands
+    near *mean_packets* and a 100x cap keeping single flows from
+    dominating a finite stream.
+    """
+    alpha = 1.2
+    minimum = max(2, int(mean_packets * (alpha - 1) / alpha))
+    cap = 100 * mean_packets
+    while True:
+        u = rng.random()
+        yield min(int(minimum / (1.0 - u) ** (1.0 / alpha)), cap)
+
+
+class _ActiveFlow:
+    """One live flow: its packet source and remaining size budget."""
+
+    __slots__ = ("source", "remaining", "is_elephant")
+
+    def __init__(self, source, remaining: int, is_elephant: bool):
+        self.source = source
+        self.remaining = remaining
+        self.is_elephant = is_elephant
+
+
+class CityScaleWorkload:
+    """Deterministic lazy generator of a city-scale packet stream."""
+
+    def __init__(self, profile: CityScaleProfile = CityScaleProfile()):
+        self.profile = profile
+        # Populated as the stream runs:
+        self.flows_started = 0
+        self.elephants_started = 0
+        self.mice_started = 0
+        self.peak_concurrency = 0
+
+    # ------------------------------------------------------------------
+    def _spawn(self, rng: random.Random, sizes: Iterator[int]) -> _ActiveFlow:
+        profile = self.profile
+        index = self.flows_started
+        self.flows_started += 1
+        is_elephant = rng.random() < profile.elephant_fraction
+        is_udp = rng.random() < profile.udp_fraction
+        src = f"100.{64 + (index >> 16) % 64}.{(index >> 8) & 0xFF}.{index & 0xFF}"
+        dst = f"10.{(index % 7) + 1}.0.{(index % 200) + 1}"
+        sport = 1024 + (index * 2654435761) % 60000
+        if is_udp:
+            source = UdpStreamSource(src, dst, sport, 443,
+                                     payload_size=profile.udp_payload)
+        else:
+            source = TcpStreamSource(src, dst, sport, 443,
+                                     payload_size=profile.tcp_payload)
+        if is_elephant:
+            self.elephants_started += 1
+            remaining = max(2, next(sizes))
+        else:
+            self.mice_started += 1
+            remaining = rng.randint(1, 2 * profile.mouse_mean_packets)
+        return _ActiveFlow(source, remaining, is_elephant)
+
+    # ------------------------------------------------------------------
+    def packets(self, total: int) -> "Iterator[Tuple[Packet, str]]":
+        """Yield *total* inbound ``(packet, bound)`` arrivals.
+
+        The active set tracks ``profile.concurrency`` scaled by the
+        diurnal multiplier of the current phase (the stream is divided
+        into ``len(profile.diurnal)`` equal phases); finished flows
+        retire and new ones spawn, so the population churns the way a
+        real flow table sees it.
+        """
+        profile = self.profile
+        rng = random.Random(profile.seed)
+        sizes = _elephant_sizes(rng, profile.elephant_mean_packets)
+        active: List[_ActiveFlow] = []
+        stop_p = 1.0 / profile.mean_run
+        phases = len(profile.diurnal)
+        phase_len = max(1, total // phases)
+        emitted = 0
+        while emitted < total:
+            phase = min(emitted // phase_len, phases - 1)
+            target = max(1, int(profile.concurrency * profile.diurnal[phase]))
+            while (
+                len(active) < target
+                and self.flows_started < profile.total_flows
+            ):
+                active.append(self._spawn(rng, sizes))
+            if not active:  # population exhausted; drain nothing more
+                break
+            if len(active) > self.peak_concurrency:
+                self.peak_concurrency = len(active)
+            slot = rng.randrange(len(active))
+            flow = active[slot]
+            # One geometric run of back-to-back packets from this flow.
+            while emitted < total and flow.remaining > 0:
+                yield flow.source.next_packet(), Bound.INBOUND
+                emitted += 1
+                flow.remaining -= 1
+                if rng.random() < stop_p:
+                    break
+            if flow.remaining <= 0:
+                active[slot] = active[-1]
+                active.pop()
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """Population counters accumulated by the last stream run."""
+        return {
+            "flows_started": self.flows_started,
+            "elephants_started": self.elephants_started,
+            "mice_started": self.mice_started,
+            "peak_concurrency": self.peak_concurrency,
+        }

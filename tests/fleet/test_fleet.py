@@ -1,0 +1,246 @@
+"""GatewayFleet: steering-consistent datapath, loss, drain/rejoin."""
+
+import random
+
+import pytest
+
+from repro.core.config import Bound, GatewayConfig
+from repro.fleet import FleetSupervisor, GatewayFleet
+from repro.resilience.health import HealthState
+from repro.workload import (
+    CityScaleProfile,
+    CityScaleWorkload,
+    interleave,
+    make_tcp_sources,
+    make_udp_sources,
+)
+
+
+def small_stream(packets=3000, seed=7):
+    rng = random.Random(seed)
+    sources = make_tcp_sources(12, 1460) + make_udp_sources(4, 1200)
+    return [(p, Bound.INBOUND) for p, _tag in interleave(sources, packets, rng)]
+
+
+def config(**overrides):
+    overrides.setdefault("flow_table_capacity", 64)
+    return GatewayConfig(**overrides)
+
+
+class TestFleetDatapath:
+    def test_conservation_over_a_mixed_stream(self):
+        fleet = GatewayFleet(config(), shards=4)
+        out = fleet.process_stream(small_stream())
+        assert out
+        assert fleet.conservation_errors() == {}
+        stats = fleet.combined_stats()
+        assert stats.rx_packets == 3000
+        assert stats.tcp_payload_in == stats.tcp_payload_out
+
+    def test_flow_affinity_invariant(self):
+        fleet = GatewayFleet(config(), shards=4)
+        fleet.process_stream(small_stream())
+        for shard in fleet.shards:
+            for record in shard.worker.flows.snapshot():
+                assert fleet.steering.shard_for(record[0]) == shard.id
+
+    def test_matches_scalar_processing(self):
+        # Batch steering must not change what each packet experiences:
+        # the combined counters equal a one-shard fleet's (same total
+        # work, just partitioned), for a flow-disjoint workload.
+        stream = small_stream(1500)
+        whole = GatewayFleet(config(), shards=1)
+        whole.process_stream(stream)
+        split = GatewayFleet(config(), shards=4)
+        split.process_stream(stream)
+        a, b = whole.combined_stats(), split.combined_stats()
+        assert a.rx_packets == b.rx_packets
+        assert a.tcp_payload_in == b.tcp_payload_in
+        assert a.tcp_payload_out == b.tcp_payload_out
+        assert a.udp_datagrams_in == b.udp_datagrams_in
+        assert a.udp_datagrams_out == b.udp_datagrams_out
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            GatewayFleet(config(), shards=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(flow_table_capacity=0)
+
+    def test_bounded_tables_evict_under_city_churn(self):
+        fleet = GatewayFleet(config(flow_table_capacity=32), shards=2)
+        workload = CityScaleWorkload(
+            CityScaleProfile(total_flows=2000, concurrency=300, seed=5)
+        )
+        fleet.process_stream(workload.packets(6000))
+        assert fleet.conservation_errors() == {}
+        for shard in fleet.shards:
+            assert len(shard.worker.flows) <= 32
+        assert sum(s.worker.flows.evictions for s in fleet.shards) > 0
+
+    def test_expire_idle_sweeps_all_shards(self):
+        fleet = GatewayFleet(config(), shards=2, flow_idle_timeout=1.0)
+        fleet.process_stream(small_stream(500))
+        assert fleet.expire_idle(now=100.0) > 0
+        assert all(len(s.worker.flows) == 0 for s in fleet.shards)
+
+
+class TestShardLoss:
+    def test_fresh_checkpoint_loss_is_zero_loss(self):
+        stream = small_stream()
+        half = len(stream) // 2
+        control = GatewayFleet(config(), shards=4)
+        control.process_stream(stream)
+
+        fleet = GatewayFleet(config(), shards=4)
+        out = fleet.process_stream(stream[:half], final_flush=False)
+        out += fleet.fail_shard(2, now=1.0)
+        out += fleet.process_stream(stream[half:])
+        assert fleet.conservation_errors() == {}
+        a, b = control.combined_stats(), fleet.combined_stats()
+        for counter in ("rx_packets", "tcp_payload_in", "tcp_payload_out",
+                        "udp_datagrams_in", "udp_datagrams_out"):
+            assert getattr(a, counter) == getattr(b, counter), counter
+
+    def test_loss_rebalances_flows_onto_owners(self):
+        fleet = GatewayFleet(config(), shards=4)
+        fleet.process_stream(small_stream(), final_flush=False)
+        victim_flows = len(fleet.shards[1].worker.flows)
+        assert victim_flows > 0
+        fleet.fail_shard(1, now=1.0)
+        assert fleet.flows_migrated == victim_flows
+        for shard in fleet.live_shards():
+            for record in shard.worker.flows.snapshot():
+                assert fleet.steering.shard_for(record[0]) == shard.id
+
+    def test_stale_checkpoint_loss_still_balances(self):
+        stream = small_stream()
+        fleet = GatewayFleet(config(), shards=4)
+        fleet.process_stream(stream[:1000], final_flush=False)
+        stale = fleet.checkpoint_shard(3, now=0.5)
+        fleet.process_stream(stream[1000:2000], final_flush=False)
+        fleet.fail_shard(3, now=1.0, checkpoint=stale)
+        fleet.process_stream(stream[2000:])
+        # Post-checkpoint work on the dead shard is discarded wholesale
+        # (retransmission territory), but the books still balance.
+        assert fleet.conservation_errors() == {}
+
+    def test_cannot_fail_twice_or_fail_last(self):
+        fleet = GatewayFleet(config(), shards=2)
+        fleet.process_stream(small_stream(200), final_flush=False)
+        fleet.fail_shard(0, now=1.0)
+        with pytest.raises(ValueError):
+            fleet.fail_shard(0, now=1.1)
+        with pytest.raises(ValueError):
+            fleet.fail_shard(1, now=1.2)
+
+    def test_retired_aggregate_survives_in_combined_stats(self):
+        fleet = GatewayFleet(config(), shards=2)
+        fleet.process_stream(small_stream(1000), final_flush=False)
+        dead_rx = fleet.shards[0].worker.stats.rx_packets
+        assert dead_rx > 0
+        fleet.fail_shard(0, now=1.0)
+        assert fleet.retired.rx_packets == dead_rx
+        assert fleet.combined_stats().rx_packets == 1000
+
+
+class TestDrainRejoin:
+    def test_drain_then_rejoin_round_trips_flows(self):
+        stream = small_stream()
+        fleet = GatewayFleet(config(), shards=4)
+        fleet.process_stream(stream[:1500], final_flush=False)
+        moved = fleet.drain_shard(1, now=0.5)
+        assert moved > 0
+        assert len(fleet.shards[1].worker.flows) == 0
+        assert not fleet.steering.is_live(1)
+        fleet.process_stream(stream[1500:2000], final_flush=False)
+        returned = fleet.rejoin_shard(1, now=1.0)
+        assert returned >= moved  # its share, possibly grown meanwhile
+        fleet.process_stream(stream[2000:])
+        assert fleet.conservation_errors() == {}
+        for shard in fleet.shards:
+            for record in shard.worker.flows.snapshot():
+                assert fleet.steering.shard_for(record[0]) == shard.id
+
+    def test_drain_and_rejoin_are_noops_when_inapplicable(self):
+        fleet = GatewayFleet(config(), shards=2)
+        assert fleet.rejoin_shard(0, now=0.0) == 0  # not drained
+        fleet.drain_shard(0, now=0.0)
+        assert fleet.drain_shard(0, now=0.1) == 0  # already drained
+
+
+class TestSupervisor:
+    def test_monitors_checkpoint_on_the_shared_clock(self):
+        fleet = GatewayFleet(config(), shards=2)
+        supervisor = FleetSupervisor(fleet, checkpoint_interval=0.05).start()
+        supervisor.run(0.26)
+        for manager in supervisor.managers:
+            assert manager.checkpoints_taken == 6
+        supervisor.stop()
+
+    def test_crash_from_periodic_checkpoint(self):
+        fleet = GatewayFleet(config(), shards=4)
+        supervisor = FleetSupervisor(fleet, checkpoint_interval=0.05).start()
+        stream = small_stream()
+        fleet.process_stream(stream[:1500], final_flush=False)
+        supervisor.run(0.12)
+        flushed = supervisor.crash_shard(2)
+        assert not fleet.shards[2].alive
+        fleet.process_stream(stream[1500:])
+        assert fleet.conservation_errors() == {}
+        assert isinstance(flushed, list)
+        supervisor.stop()
+
+    def test_bypass_health_drains_and_recovery_rejoins(self):
+        fleet = GatewayFleet(config(), shards=2)
+        supervisor = FleetSupervisor(fleet).start()
+        fleet.process_stream(small_stream(600), final_flush=False)
+        monitor = supervisor.monitors[0]
+        monitor.state = HealthState.BYPASS  # simulate a sick shard
+        supervisor.reconcile(now=1.0)
+        assert fleet.shards[0].drained
+        assert not fleet.steering.is_live(0)
+        monitor.state = HealthState.HEALTHY
+        supervisor.reconcile(now=2.0)
+        assert not fleet.shards[0].drained
+        assert fleet.steering.is_live(0)
+        assert len(supervisor.actions) == 2
+        supervisor.stop()
+
+    def test_summary_is_json_friendly(self):
+        import json
+
+        fleet = GatewayFleet(config(), shards=2)
+        supervisor = FleetSupervisor(fleet).start()
+        json.dumps(supervisor.summary())
+        json.dumps(fleet.summary())
+        supervisor.stop()
+
+
+class TestObservedFleet:
+    def test_per_shard_series_and_tier_aggregates(self):
+        from repro.obs import Observability, observe_fleet
+
+        fleet = GatewayFleet(config(), shards=2)
+        obs = Observability()
+        observe_fleet(obs, fleet)
+        fleet.process_stream(small_stream(1000), final_flush=False)
+        fleet.fail_shard(1, now=1.0)
+        text = obs.registry.to_prometheus_text()
+        assert 'px_fleet_shard_rx_packets_total{fleet="fleet0",shard="0"}' in text
+        assert 'px_fleet_shard_alive{fleet="fleet0",shard="1"} 0' in text
+        assert "px_fleet_shard_losses_total" in text
+        assert "px_fleet_flows_migrated_total" in text
+        # The dead shard's series are frozen, not vanished.
+        assert 'px_fleet_shard_rx_packets_total{fleet="fleet0",shard="1"}' in text
+        assert 'px_fleet_live_shards{fleet="fleet0"} 1' in text
+
+    def test_scrapes_are_stable_between_identical_states(self):
+        from repro.obs import Observability, observe_fleet
+
+        fleet = GatewayFleet(config(), shards=2)
+        obs = Observability()
+        observe_fleet(obs, fleet)
+        fleet.process_stream(small_stream(500))
+        first = obs.registry.to_prometheus_text()
+        second = obs.registry.to_prometheus_text()
+        assert first == second

@@ -179,6 +179,31 @@ class TestFailoverManager:
         assert gateway.worker.stats.tcp_payload_in == 0
         assert not gateway.worker.stats.conservation_errors()
 
+    def test_failover_onto_smaller_standby_trims_to_capacity(self):
+        # A standby provisioned with a smaller flow table must end up
+        # at its own bound after adopting a bigger checkpoint — the
+        # excess is evicted LRU-first, not silently carried over.
+        worker = GatewayWorker(GatewayConfig(elephant_threshold_packets=1,
+                                             hairpin_small_flows=False))
+        sources = make_tcp_sources(10, 1448)
+        for index, source in enumerate(sources):
+            worker.process(source.next_packet(), Bound.INBOUND,
+                           now=index * 1e-3)
+        assert len(worker.flows) == 10
+        checkpoint = checkpoint_worker(worker, now=0.02)
+
+        standby = GatewayWorker(GatewayConfig(elephant_threshold_packets=1,
+                                              hairpin_small_flows=False,
+                                              flow_table_capacity=4))
+        restore_worker(standby, checkpoint)
+        assert len(standby.flows) == 4
+        assert standby.flows.evictions == 6
+        # The survivors are the most recently seen flows.
+        kept = {state.key for state in standby.flows}
+        expected = {record[0] for record in checkpoint.flows[-4:]}
+        assert kept == expected
+        assert not standby.stats.conservation_errors()
+
     def test_standby_inherits_resilience_hooks(self):
         topo, _, _, gateway = self.make_world()
         cache = gateway.attach_pmtu_cache()

@@ -39,3 +39,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "conversion yield" in out
         assert "8960" in out  # raised MSS visible
+
+    def test_fleet_command(self, capsys):
+        assert main(["fleet", "--quick", "--workers", "1,2,4",
+                     "--loss-drill"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet_world scaling" in out
+        assert "loss drill (crash)" in out
+        assert "ok" in out
+
+    def test_fleet_command_json(self, capsys):
+        import json
+
+        assert main(["fleet", "--quick", "--workers", "1,4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-fleet-world/1"
+        assert [row["shards"] for row in payload["rows"]] == [1, 4]
+
+    def test_fleet_command_rejects_bad_workers(self, capsys):
+        assert main(["fleet", "--quick", "--workers", "x,y"]) == 2

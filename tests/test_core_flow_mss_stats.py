@@ -50,6 +50,71 @@ class TestFlowTable:
         assert table.peek(self.key()) is None
         assert len(table) == 0
 
+    def test_expire_idle_counts_as_eviction(self):
+        # Regression: expiry used to fire on_evict without bumping the
+        # evictions counter, so idle churn was invisible in metrics.
+        evicted = []
+        table = FlowTable(on_evict=evicted.append)
+        table.lookup(self.key(0), now=0.0)
+        table.lookup(self.key(1), now=0.0)
+        table.lookup(self.key(2), now=50.0)
+        assert table.expire_idle(now=60.0, idle_timeout=30.0) == 2
+        assert table.evictions == 2
+        assert [state.key for state in evicted] == [self.key(0), self.key(1)]
+        assert self.key(2) in table
+
+    def test_restore_trims_to_capacity_lru_first(self):
+        # Regression: restore used to load every record regardless of
+        # the receiving table's capacity, so failover onto a smaller
+        # standby silently exceeded the bound.
+        big = FlowTable(capacity=8)
+        for i in range(6):
+            big.lookup(self.key(i), now=float(i))
+        evicted = []
+        small = FlowTable(capacity=4, on_evict=evicted.append)
+        small.restore(big.snapshot())
+        assert len(small) == 4
+        assert small.evictions == 2
+        # LRU-first: the two oldest records are the ones trimmed, and
+        # they leave through on_evict like any capacity eviction.
+        assert [state.key for state in evicted] == [self.key(0), self.key(1)]
+        assert self.key(5) in small and self.key(2) in small
+
+    def test_restore_preserves_flow_state(self):
+        table = FlowTable()
+        state = table.lookup(self.key(), now=1.0)
+        state.touch(500, now=2.0)
+        state.is_elephant = True
+        clone = FlowTable()
+        clone.restore(table.snapshot())
+        restored = clone.peek(self.key())
+        assert restored.bytes == 500
+        assert restored.is_elephant
+        assert restored.last_seen == 2.0
+
+    def test_adopt_merges_without_clobbering_live_state(self):
+        donor = FlowTable()
+        for i in range(3):
+            donor.lookup(self.key(i), now=0.0)
+        receiver = FlowTable(capacity=3)
+        live = receiver.lookup(self.key(0), now=5.0)
+        live.touch(999, now=5.0)
+        added = receiver.adopt(donor.snapshot())
+        assert added == 2  # key(0) already present, kept
+        assert receiver.peek(self.key(0)).bytes == 999
+        assert len(receiver) == 3
+
+    def test_adopt_respects_capacity(self):
+        donor = FlowTable()
+        for i in range(5):
+            donor.lookup(self.key(i), now=float(i))
+        evicted = []
+        receiver = FlowTable(capacity=2, on_evict=evicted.append)
+        receiver.adopt(donor.snapshot())
+        assert len(receiver) == 2
+        assert receiver.evictions == 3
+        assert len(evicted) == 3
+
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             FlowTable(capacity=0)
