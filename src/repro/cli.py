@@ -90,6 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--kind", default=None,
                        help="only events of this kind (ingress, merge, ...)")
+    trace.add_argument("--since", type=float, default=None,
+                       help="only events at or after this sim time")
     trace.add_argument("--limit", type=int, default=None,
                        help="print at most the last N events")
     trace.add_argument("--summary", action="store_true",
@@ -111,6 +113,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="include at most the last N finished spans")
     spans.add_argument("--out", default=None,
                        help="write the export here instead of stdout")
+
+    flight = commands.add_parser(
+        "flight",
+        help="run the seeded observability world, dump its black-box "
+             "flight-recorder window (spans, trace events, metric "
+             "deltas, alert transitions, merged in sim time)",
+    )
+    flight.add_argument("--seed", type=int, default=0)
+    flight.add_argument("--since", type=float, default=None,
+                        help="window start in sim time (default: all)")
+    flight.add_argument("--until", type=float, default=None,
+                        help="window end in sim time (default: all)")
+    flight.add_argument("--kind", default=None,
+                        help="only entries of this kind "
+                             "(mark/metrics/alert/trace/span)")
+    flight.add_argument("--summary", action="store_true",
+                        help="print per-source entry counts only")
+    flight.add_argument("--out", default=None,
+                        help="write the dump here instead of stdout")
+
+    incident = commands.add_parser(
+        "incident",
+        help="build a deterministic incident bundle for one trigger "
+             "scenario (or the whole matrix) and dump it as JSON",
+    )
+    incident.add_argument("--trigger",
+                          choices=("alert", "rollback", "shard-loss",
+                                   "oracle"),
+                          default="alert",
+                          help="which stock trigger scenario to run")
+    incident.add_argument("--matrix", action="store_true",
+                          help="run all four triggers into one document")
+    incident.add_argument("--seed", type=int, default=0)
+    incident.add_argument("--indent", type=int, default=0,
+                          help="JSON indent (0 for compact — the "
+                               "byte-deterministic form CI diffs)")
+    incident.add_argument("--out", default=None,
+                          help="write the bundle here instead of stdout")
 
     timeline = commands.add_parser(
         "timeline",
@@ -422,6 +462,8 @@ def _cmd_trace(args) -> int:
             print(json.dumps(summary, indent=2, sort_keys=True))
         return 0
     events = tracer.events(kind=args.kind)
+    if args.since is not None:
+        events = [event for event in events if event["time"] >= args.since]
     if args.limit is not None:
         events = events[-args.limit:]
     for event in events:
@@ -429,6 +471,55 @@ def _cmd_trace(args) -> int:
             print(json.dumps(event, sort_keys=True, separators=(",", ":")))
         else:
             print(json.dumps(event, sort_keys=True))
+    return 0
+
+
+def _cmd_flight(args) -> int:
+    import json
+
+    from .obs import run_observed_world
+
+    world = run_observed_world(seed=args.seed)
+    recorder = world.flight
+    if args.summary:
+        _emit_text(json.dumps({
+            "name": recorder.name,
+            "counts": recorder.counts(),
+            "sources": recorder.sources,
+        }, indent=2, sort_keys=True), args.out, "flight summary")
+        return 0
+    kinds = (args.kind,) if args.kind else None
+    payload = recorder.to_dict(since=args.since, until=args.until,
+                               kinds=kinds)
+    _emit_text(json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")),
+               args.out, "flight dump")
+    return 0
+
+
+def _cmd_incident(args) -> int:
+    from .obs.incident import (
+        alert_trigger_bundle,
+        bundle_to_json,
+        oracle_trigger_bundle,
+        rollback_trigger_bundle,
+        run_trigger_matrix,
+        shard_loss_trigger_bundle,
+    )
+
+    if args.matrix:
+        bundle = run_trigger_matrix(seed=args.seed)
+    else:
+        builder = {
+            "alert": alert_trigger_bundle,
+            "rollback": rollback_trigger_bundle,
+            "shard-loss": lambda seed: shard_loss_trigger_bundle(
+                seed=101 + seed),
+            "oracle": lambda seed: oracle_trigger_bundle(seed=101 + seed),
+        }[args.trigger]
+        bundle = builder(seed=args.seed)
+    _emit_text(bundle_to_json(bundle, indent=args.indent or None),
+               args.out, "incident bundle")
     return 0
 
 
@@ -781,6 +872,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "flight": _cmd_flight,
+    "incident": _cmd_incident,
     "spans": _cmd_spans,
     "timeline": _cmd_timeline,
     "alerts": _cmd_alerts,

@@ -247,7 +247,7 @@ class GatewayWorker:
             breakdown["hairpin"] = breakdown.get("hairpin", 0.0) + cycles
             self.stats.hairpinned += 1
             if self.spans is not None:
-                self.spans.sync(self._span_at, now, "hairpin")
+                self.spans.sync(self._span_at, now, "hairpin", flow=key)
             return self._emit([packet], bound, data=self._is_data(packet))
 
         cycles = self._cost_rx
@@ -279,7 +279,7 @@ class GatewayWorker:
 
         # ICMP and anything else is forwarded untouched.
         if self.spans is not None:
-            self.spans.sync(self._span_at, now, "forward")
+            self.spans.sync(self._span_at, now, "forward", flow=key)
         return self._emit([packet], bound, data=False)
 
     # ------------------------------------------------------------------
@@ -431,7 +431,8 @@ class GatewayWorker:
             ):
                 self.stats.mss_rewrites += 1
             if self.spans is not None:
-                self.spans.sync(self._span_at, now, "mss")
+                self.spans.sync(self._span_at, now, "mss",
+                                flow=packet.flow_key())
             return self._emit([packet], bound, data=False)
         if packet.is_tcp:
             self.stats.tcp_payload_in += len(packet.payload)
@@ -442,7 +443,7 @@ class GatewayWorker:
                 segments = [packet]
             self.stats.tcp_payload_out += sum(len(seg.payload) for seg in segments)
             if self.spans is not None:
-                self._span_split(segments, now)
+                self._span_split(segments, now, packet.flow_key())
             return self._emit(segments, bound, data=True)
         if packet.is_udp:
             self.stats.udp_datagrams_in += caravan_inner_count(packet)
@@ -450,10 +451,12 @@ class GatewayWorker:
                 return self._open_caravan(packet, now)
             self.stats.udp_datagrams_out += caravan_inner_count(packet)
             if self.spans is not None:
-                self.spans.sync(self._span_at, now, "forward")
+                self.spans.sync(self._span_at, now, "forward",
+                                flow=packet.flow_key())
             return self._emit([packet], bound, data=True)
         if self.spans is not None:
-            self.spans.sync(self._span_at, now, "forward")
+            self.spans.sync(self._span_at, now, "forward",
+                            flow=packet.flow_key())
         return self._emit([packet], bound, data=False)
 
     def _path_limit(self, packet: Packet, now: float):
@@ -484,7 +487,8 @@ class GatewayWorker:
             stats.passthrough_packets += 1
             stats.tcp_payload_out += len(packet.payload)
             if self.spans is not None:
-                self.spans.sync(self._span_at, now, "passthrough")
+                self.spans.sync(self._span_at, now, "passthrough",
+                                flow=packet.flow_key())
             return self._emit([packet], Bound.INBOUND, data=True)
         if self._baseline_gro:
             cycles = self.costs.baseline_gro_per_packet
@@ -532,7 +536,7 @@ class GatewayWorker:
                 worker=self.index, segments=len(segments), bytes=packet.total_len,
             )
         if self.spans is not None:
-            self._span_split(segments, now)
+            self._span_split(segments, now, packet.flow_key())
         return self._emit(segments, Bound.OUTBOUND, data=True)
 
     def _udp_inbound(self, packet: Packet, now: float) -> List[Packet]:
@@ -551,7 +555,8 @@ class GatewayWorker:
                 self.stats.passthrough_packets += 1
             self.stats.udp_datagrams_out += caravan_inner_count(packet)
             if self.spans is not None:
-                self.spans.sync(self._span_at, now, "passthrough")
+                self.spans.sync(self._span_at, now, "passthrough",
+                                flow=packet.flow_key())
             return self._emit([packet], Bound.INBOUND, data=True)
         account = self.account
         breakdown = account.breakdown
@@ -583,7 +588,8 @@ class GatewayWorker:
             return self._open_caravan(packet, now)
         self.stats.udp_datagrams_out += 1
         if self.spans is not None:
-            self.spans.sync(self._span_at, now, "forward")
+            self.spans.sync(self._span_at, now, "forward",
+                            flow=packet.flow_key())
         return self._emit([packet], Bound.OUTBOUND, data=True)
 
     def _open_caravan(self, packet: Packet, now: float) -> List[Packet]:
@@ -596,7 +602,8 @@ class GatewayWorker:
             self.stats.malformed_caravans += 1
             self.stats.udp_datagrams_malformed += caravan_inner_count(packet)
             if self.spans is not None:
-                self.spans.sync_drop(self._span_at, now, "malformed-caravan")
+                self.spans.sync_drop(self._span_at, now, "malformed-caravan",
+                                     flow=packet.flow_key())
             return []
         self.stats.caravans_opened += 1
         if self.tracer is not None:
@@ -609,7 +616,8 @@ class GatewayWorker:
         )
         self.stats.udp_datagrams_out += len(datagrams)
         if self.spans is not None:
-            sid = self.spans.sync(self._span_at, now, "caravan-open")
+            sid = self.spans.sync(self._span_at, now, "caravan-open",
+                                  flow=packet.flow_key())
             self.spans.derived((sid,), "datagram", now, count=len(datagrams))
         return self._emit(datagrams, Bound.OUTBOUND, data=True)
 
@@ -645,7 +653,7 @@ class GatewayWorker:
                 if spans is not None:
                     spans.derived(
                         spans.merge_consume(out.flow_key(), len(out.payload), now),
-                        "merged", now,
+                        "merged", now, flow=out.flow_key(),
                     )
             elif out.is_udp:
                 self.stats.udp_datagrams_out += caravan_inner_count(out)
@@ -659,14 +667,16 @@ class GatewayWorker:
     # Span bookkeeping (repro.obs.spans) — every caller guards on
     # ``self.spans``, so the unattached datapath pays nothing.
     # ------------------------------------------------------------------
-    def _span_split(self, segments: List[Packet], now: float) -> None:
+    def _span_split(self, segments: List[Packet], now: float,
+                    flow=None) -> None:
         """Settle a split (1→N): close the ingress, emit N children."""
         spans = self.spans
         if len(segments) > 1:
-            sid = spans.sync(self._span_at, now, "split")
-            spans.derived((sid,), "split-segment", now, count=len(segments))
+            sid = spans.sync(self._span_at, now, "split", flow=flow)
+            spans.derived((sid,), "split-segment", now, count=len(segments),
+                          flow=flow)
         else:
-            spans.sync(self._span_at, now, "forward")
+            spans.sync(self._span_at, now, "forward", flow=flow)
 
     def _span_tcp_merge(self, packet: Packet, outputs: List[Packet], now: float) -> None:
         """Mirror one ``merge.feed`` call onto the span byte-FIFO.
@@ -690,11 +700,12 @@ class GatewayWorker:
             )
         for out in outputs:
             if out is packet:
-                spans.sync(self._span_at, now, "passthrough")
+                spans.sync(self._span_at, now, "passthrough",
+                           flow=packet.flow_key())
             else:
                 spans.derived(
                     spans.merge_consume(out.flow_key(), len(out.payload), now),
-                    "merged", now,
+                    "merged", now, flow=out.flow_key(),
                 )
 
     def _span_caravan_merge(self, packet: Packet, outputs: List[Packet], now: float) -> None:
@@ -714,7 +725,8 @@ class GatewayWorker:
             spans.caravan_enqueue(packet.flow_key(), spans.open(self._span_at), now)
         for out in outputs:
             if out is packet:
-                spans.sync(self._span_at, now, "passthrough")
+                spans.sync(self._span_at, now, "passthrough",
+                           flow=packet.flow_key())
             else:
                 self._span_caravan_out(out, now)
 
@@ -730,7 +742,7 @@ class GatewayWorker:
         if first_at is not None:
             spans.observe(CARAVAN_BATCH_WAIT_SECONDS, now - first_at)
         if bundled:
-            spans.derived(parents, "caravan", now)
+            spans.derived(parents, "caravan", now, flow=out.flow_key())
 
     def _is_data(self, packet: Packet) -> bool:
         if packet.is_tcp:

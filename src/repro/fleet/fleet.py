@@ -96,6 +96,20 @@ class GatewayFleet:
         self.flows_migrated = 0
         self.shard_losses = 0
         self._virtual_now = 0.0
+        #: Optional TracePropagation (see :meth:`attach_trace`).
+        self.trace = None
+
+    def attach_trace(self, trace):
+        """Wire cross-shard trace-context propagation onto the fleet.
+
+        Points the steering stage's cache-miss hook at *trace* (so
+        ingress/handoff hops cost nothing on the cached hot path) and
+        keeps a reference so rebalance/drain/rejoin stamp their hops
+        with real batch timestamps.  Returns *trace* for chaining.
+        """
+        self.trace = trace
+        self.steering.on_decision = trace.decision
+        return trace
 
     # ------------------------------------------------------------------
     # Datapath
@@ -109,6 +123,8 @@ class GatewayFleet:
 
     def process(self, packet: Packet, bound: str, now: float = 0.0) -> List[Packet]:
         """Process one packet on its steering-assigned shard."""
+        if self.trace is not None:
+            self.trace._now = now
         return self.shard_for(packet).worker.process(packet, bound, now)
 
     def process_batch(
@@ -122,6 +138,8 @@ class GatewayFleet:
         through :meth:`~repro.core.worker.GatewayWorker.process_batch`,
         and egress comes out bucket-grouped in first-seen order.
         """
+        if self.trace is not None:
+            self.trace._now = now
         shares: Dict[Tuple[int, str], List[Packet]] = {}
         shard_for = self.shard_for
         for packet, bound in packets:
@@ -264,22 +282,41 @@ class GatewayFleet:
             # Buffered-byte spans on the dead shard settle as failover
             # closures; the survivors' trackers are untouched.
             shard.worker.spans.flush_fifos(now, outcome="failover")
-        self._rebalance_records(checkpoint.flows, donor=shard)
+        self._rebalance_records(checkpoint.flows, donor=shard, now=now,
+                                reason="shard-loss")
         return flushed
 
-    def _rebalance_records(self, records: List[tuple], donor: FleetShard) -> None:
+    def _rebalance_records(self, records: List[tuple], donor: FleetShard,
+                           now: float = 0.0,
+                           reason: str = "rebalance") -> None:
         """Hand flow records to the shards steering now assigns them to."""
         if not records:
             return
         buckets: Dict[int, List[tuple]] = {}
         steering = self.steering
-        for record in records:
-            target = steering.shard_for(record[0])
-            bucket = buckets.get(target)
-            if bucket is None:
-                buckets[target] = [record]
-            else:
-                bucket.append(record)
+        trace = self.trace
+        if trace is not None:
+            # Rebalance hops are recorded explicitly below with the
+            # donor attached; mute the generic cache-miss hook so each
+            # move lands as exactly one hop.
+            with trace.suppressed():
+                for record in records:
+                    target = steering.shard_for(record[0])
+                    bucket = buckets.get(target)
+                    if bucket is None:
+                        buckets[target] = [record]
+                    else:
+                        bucket.append(record)
+                    trace.rebalance(record[0], donor.id, target, now,
+                                    reason=reason)
+        else:
+            for record in records:
+                target = steering.shard_for(record[0])
+                bucket = buckets.get(target)
+                if bucket is None:
+                    buckets[target] = [record]
+                else:
+                    bucket.append(record)
         for target, share in buckets.items():
             adopted = self.shards[target].worker.flows.adopt(share)
             self.shards[target].adopted_flows += adopted
@@ -306,7 +343,7 @@ class GatewayFleet:
         records = shard.worker.flows.snapshot()
         for record in records:
             shard.worker.flows.remove(record[0])
-        self._rebalance_records(records, donor=shard)
+        self._rebalance_records(records, donor=shard, now=now, reason="drain")
         return len(records)
 
     def rejoin_shard(self, index: int, now: float) -> int:
@@ -323,14 +360,26 @@ class GatewayFleet:
         self.steering.restore(index)
         shard.drained = False
         returned: List[tuple] = []
+        trace = self.trace
         for donor in self.shards:
             if donor.id == index or not donor.alive:
                 continue
-            donated = [
-                record
-                for record in donor.worker.flows.snapshot()
-                if self.steering.shard_for(record[0]) == index
-            ]
+            if trace is not None:
+                with trace.suppressed():
+                    donated = [
+                        record
+                        for record in donor.worker.flows.snapshot()
+                        if self.steering.shard_for(record[0]) == index
+                    ]
+                for record in donated:
+                    trace.rebalance(record[0], donor.id, index, now,
+                                    reason="rejoin")
+            else:
+                donated = [
+                    record
+                    for record in donor.worker.flows.snapshot()
+                    if self.steering.shard_for(record[0]) == index
+                ]
             for record in donated:
                 donor.worker.flows.remove(record[0])
             if donated:

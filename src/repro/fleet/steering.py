@@ -59,9 +59,18 @@ class FleetSteering:
         #: Steering decisions landed on each shard (cache hits count —
         #: every call models one hardware steering decision).
         self.steered = [0] * shards
+        #: Cache effectiveness: hits resolve in one dict probe, misses
+        #: walk the rendezvous ring (exported via ``observe_fleet``).
+        self.cache_hits = 0
+        self.cache_misses = 0
         #: Membership changes applied (removals + restores).
         self.reshards = 0
         self._rr = 0
+        #: Optional hook fired on every cache-*miss* decision with
+        #: ``(flow, shard)`` — the trace-propagation attach point.  The
+        #: cached hot path never fires it, so tracing costs nothing per
+        #: packet.
+        self.on_decision = None
 
     # ------------------------------------------------------------------
     def live_shards(self) -> List[int]:
@@ -102,8 +111,10 @@ class FleetSteering:
         """The live shard serving *flow* under the current membership."""
         cached = self._cache.get(flow)
         if cached is not None:
+            self.cache_hits += 1
             self.steered[cached] += 1
             return cached
+        self.cache_misses += 1
         base = self._flow_hashes.get(flow)
         if base is None:
             base = flow_hash(flow, self.key)
@@ -121,6 +132,32 @@ class FleetSteering:
                 best = index
         self._cache[flow] = best
         self.steered[best] += 1
+        if self.on_decision is not None:
+            self.on_decision(flow, best)
+        return best
+
+    def owner_of(self, flow: FlowKey) -> int:
+        """Pure peek at *flow*'s owner under the current membership.
+
+        Unlike :meth:`shard_for` this never mutates the cache, the
+        counters, or fires ``on_decision`` — verification code can ask
+        who owns a flow without perturbing the steering state.
+        """
+        cached = self._cache.get(flow)
+        if cached is not None:
+            return cached
+        base = self._flow_hashes.get(flow)
+        if base is None:
+            base = flow_hash(flow, self.key)
+        best = -1
+        best_weight = -1
+        for index in range(self.shards):
+            if not self._live[index]:
+                continue
+            weight = _mix64(base ^ self._shard_seeds[index])
+            if weight > best_weight:
+                best_weight = weight
+                best = index
         return best
 
     def shard_for_unkeyed(self) -> int:

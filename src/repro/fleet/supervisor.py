@@ -89,6 +89,7 @@ class FleetSupervisor:
         policy: Optional[HealthPolicy] = None,
         checkpoint_interval: float = 0.1,
         obs=None,
+        flight=None,
     ):
         self.fleet = fleet
         self.sim = sim or Simulator()
@@ -100,6 +101,12 @@ class FleetSupervisor:
         ]
         #: (time, shard, action) reconciliation history.
         self.actions: List[tuple] = []
+        #: Optional :class:`~repro.obs.flight.FlightRecorder` — drains
+        #: and removals leave marks on it, and each becomes a
+        #: deterministic incident bundle in :attr:`incidents`.
+        self.flight = flight
+        #: Incident bundles built for drain/crash/maintenance events.
+        self.incidents: List[dict] = []
 
     # ------------------------------------------------------------------
     def start(self) -> "FleetSupervisor":
@@ -141,9 +148,14 @@ class FleetSupervisor:
                 if len(self.fleet.steering.live_shards()) > 1:
                     moved = self.fleet.drain_shard(shard.id, now)
                     taken.append((now, shard.id, f"drain:{moved}"))
+                    self._record_incident("shard-drain", now, shard.id,
+                                          {"moved": moved})
             elif not bypassed and shard.drained:
                 returned = self.fleet.rejoin_shard(shard.id, now)
                 taken.append((now, shard.id, f"rejoin:{returned}"))
+                if self.flight is not None:
+                    self.flight.note(now, "shard-rejoin", shard=shard.id,
+                                     returned=returned)
         self.actions.extend(taken)
         return taken
 
@@ -161,13 +173,66 @@ class FleetSupervisor:
         checkpoint = manager.last_checkpoint
         if checkpoint is None:
             raise RuntimeError(f"shard {index} has no checkpoint; start() first")
-        return self.fleet.fail_shard(index, self.sim.now, checkpoint=checkpoint)
+        flushed = self.fleet.fail_shard(index, self.sim.now, checkpoint=checkpoint)
+        self._record_incident(
+            "shard-loss", self.sim.now, index,
+            {"mode": "crash", "flushed": len(flushed),
+             "checkpoint_age": self.sim.now - checkpoint.taken_at},
+        )
+        return flushed
 
     def maintain_shard(self, index: int) -> List[Packet]:
         """Planned removal: fresh checkpoint at this instant, zero loss."""
         self.monitors[index].stop()
         self.managers[index].stop()
-        return self.fleet.fail_shard(index, self.sim.now, checkpoint=None)
+        flushed = self.fleet.fail_shard(index, self.sim.now, checkpoint=None)
+        self._record_incident(
+            "shard-loss", self.sim.now, index,
+            {"mode": "maintenance", "flushed": len(flushed)},
+        )
+        return flushed
+
+    def _record_incident(self, kind: str, now: float, shard_id: int,
+                         detail: Dict[str, object]) -> None:
+        """Mark the flight recorder and package an incident bundle.
+
+        Only active when a recorder is attached — plain supervision runs
+        carry zero observability cost.  The bundle cites the recorder's
+        window up to *now* and, when the fleet has trace propagation
+        attached, the reconstructed journeys of the flows the event
+        rebalanced.
+        """
+        if self.flight is None:
+            return
+        from ..obs.incident import build_incident_bundle
+
+        self.flight.note(now, kind, shard=shard_id, **detail)
+        trace = self.fleet.trace
+        flows: List[object] = []
+        trackers = None
+        if trace is not None:
+            flows = [
+                ctx.flow for ctx in trace.contexts.values()
+                if any(hop["kind"] == "rebalance" and hop["shard"] != shard_id
+                       for hop in ctx.hops)
+            ][:8]
+            trackers = {
+                shard.id: shard.worker.spans
+                for shard in self.fleet.shards
+                if shard.worker.spans is not None
+            }
+        self.incidents.append(build_incident_bundle(
+            kind,
+            now,
+            window=now,
+            detail={"shard": shard_id, **detail},
+            flights=[self.flight],
+            trace=trace,
+            trackers=trackers,
+            flows=flows,
+            owner_of=self.fleet.steering.owner_of,
+            config=self.fleet.config,
+        ))
 
     def replace_worker(self, index: int, reason: str = "maintenance") -> GatewayWorker:
         """In-shard standby swap (shard stays in steering throughout)."""

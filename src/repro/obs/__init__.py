@@ -30,7 +30,13 @@ Design rules:
 See ``docs/OBSERVABILITY.md`` for the metric catalog and CLI examples.
 """
 
-from .alerts import AlertEngine, AlertRule, default_alert_rules
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    burn_rate_rules,
+    default_alert_rules,
+    default_burn_rules,
+)
 from .collectors import (
     Observability,
     observe_failover,
@@ -42,6 +48,15 @@ from .collectors import (
     observe_upf,
     record_bench_report,
 )
+from .flight import FlightRecorder
+from .incident import (
+    TRIGGER_KINDS,
+    build_incident_bundle,
+    bundle_to_json,
+    config_digest,
+    run_trigger_matrix,
+)
+from .propagation import TraceContext, TracePropagation
 from .registry import (
     LOG2_BUCKETS,
     Counter,
@@ -64,6 +79,7 @@ __all__ = [
     "AlertEngine",
     "AlertRule",
     "Counter",
+    "FlightRecorder",
     "FlowTracer",
     "Gauge",
     "Histogram",
@@ -75,8 +91,16 @@ __all__ = [
     "ObservedWorld",
     "Span",
     "SpanTracker",
+    "TRIGGER_KINDS",
     "TelemetryTimeline",
+    "TraceContext",
+    "TracePropagation",
+    "build_incident_bundle",
+    "bundle_to_json",
+    "burn_rate_rules",
+    "config_digest",
     "default_alert_rules",
+    "default_burn_rules",
     "default_registry",
     "observe_failover",
     "observe_fleet",
@@ -87,6 +111,7 @@ __all__ = [
     "observe_upf",
     "record_bench_report",
     "run_observed_world",
+    "run_trigger_matrix",
     "WorkloadSchedule",
     "default_workload_schedule",
 ]

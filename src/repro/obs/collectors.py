@@ -340,6 +340,14 @@ def observe_fleet(obs: Observability, fleet, name: str = "fleet0") -> None:
             "Steering membership changes applied.", fleet=name,
         ).set_total(fleet.steering.reshards)
         registry.counter(
+            "px_fleet_steering_cache_hits_total",
+            "Steering decisions resolved from the flow cache.", fleet=name,
+        ).set_total(fleet.steering.cache_hits)
+        registry.counter(
+            "px_fleet_steering_cache_misses_total",
+            "Steering decisions that walked the rendezvous ring.", fleet=name,
+        ).set_total(fleet.steering.cache_misses)
+        registry.counter(
             "px_fleet_retired_tx_packets_total",
             "Egress credited to dead shards' checkpoints.", fleet=name,
         ).set_total(fleet.retired.tx_packets)

@@ -90,12 +90,16 @@ class Span:
 
     ``parents`` is a tuple of span ids: empty for an ingress span,
     the contributing ingress spans for a ``merged``/``caravan`` child,
-    the split ingress for a ``split-segment``.
+    the split ingress for a ``split-segment``.  ``flow`` carries the
+    packet's :class:`~repro.packet.flow.FlowKey` when the datapath
+    attributed one — the hook cross-shard trace reconstruction keys on.
     """
 
-    __slots__ = ("sid", "kind", "opened_at", "closed_at", "outcome", "parents", "stage")
+    __slots__ = ("sid", "kind", "opened_at", "closed_at", "outcome", "parents",
+                 "stage", "flow")
 
-    def __init__(self, sid, kind, opened_at, closed_at, outcome, parents, stage):
+    def __init__(self, sid, kind, opened_at, closed_at, outcome, parents, stage,
+                 flow=None):
         self.sid = sid
         self.kind = kind
         self.opened_at = opened_at
@@ -103,6 +107,7 @@ class Span:
         self.outcome = outcome
         self.parents = parents
         self.stage = stage
+        self.flow = flow
 
     @property
     def duration(self) -> Optional[float]:
@@ -113,7 +118,7 @@ class Span:
 
     def to_dict(self) -> dict:
         """A JSON-ready, deterministic representation."""
-        return {
+        payload = {
             "sid": self.sid,
             "kind": self.kind,
             "opened_at": self.opened_at,
@@ -122,6 +127,9 @@ class Span:
             "stage": self.stage,
             "parents": list(self.parents),
         }
+        if self.flow is not None:
+            payload["flow"] = str(self.flow)
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = self.outcome if self.closed_at is not None else "open"
@@ -166,12 +174,14 @@ class SpanTracker:
     # Core open/close API
     # ------------------------------------------------------------------
     def open(self, opened_at: float, kind: str = "packet",
-             parents: Tuple[int, ...] = (), stage: Optional[str] = None) -> int:
+             parents: Tuple[int, ...] = (), stage: Optional[str] = None,
+             flow=None) -> int:
         """Open a span; returns its id for a later close/drop."""
         sid = self._next_sid
         self._next_sid = sid + 1
         self.opened += 1
-        self._open[sid] = Span(sid, kind, opened_at, None, None, parents, stage)
+        self._open[sid] = Span(sid, kind, opened_at, None, None, parents, stage,
+                               flow)
         return sid
 
     def close(self, sid: int, closed_at: float, outcome: str = "egress") -> None:
@@ -197,7 +207,7 @@ class SpanTracker:
         self._done.append(span)
 
     def sync(self, opened_at: float, closed_at: float, stage: str,
-             kind: str = "packet") -> int:
+             kind: str = "packet", flow=None) -> int:
         """Fast path: a packet that entered and left in one call.
 
         Creates the span already finished (no open-dict round trip — this
@@ -208,23 +218,26 @@ class SpanTracker:
         self._next_sid = sid + 1
         self.opened += 1
         self.closed += 1
-        self._done.append(Span(sid, kind, opened_at, closed_at, "egress", (), stage))
+        self._done.append(Span(sid, kind, opened_at, closed_at, "egress", (),
+                               stage, flow))
         bucket = self._latency[GATEWAY_RESIDENCY_SECONDS]
         delta = closed_at - opened_at
         bucket[delta] = bucket.get(delta, 0) + 1
         return sid
 
-    def sync_drop(self, opened_at: float, at: float, reason: str) -> int:
+    def sync_drop(self, opened_at: float, at: float, reason: str,
+                  flow=None) -> int:
         """Fast path: a packet dropped in the same call it arrived in."""
         sid = self._next_sid
         self._next_sid = sid + 1
         self.opened += 1
         self.dropped += 1
-        self._done.append(Span(sid, "packet", opened_at, at, reason, (), "drop"))
+        self._done.append(Span(sid, "packet", opened_at, at, reason, (),
+                               "drop", flow))
         return sid
 
     def derived(self, parents: Tuple[int, ...], kind: str, at: float,
-                count: int = 1) -> None:
+                count: int = 1, flow=None) -> None:
         """Record *count* finished child spans produced at *at*.
 
         Children are born closed: a merged segment / caravan / split
@@ -236,13 +249,17 @@ class SpanTracker:
             self._next_sid = sid + 1
             self.opened += 1
             self.closed += 1
-            self._done.append(Span(sid, kind, at, at, "egress", parents, None))
+            self._done.append(Span(sid, kind, at, at, "egress", parents, None,
+                                   flow))
 
     # ------------------------------------------------------------------
     # Merge (byte) FIFO — mirrors TcpMergeEngine buffers
     # ------------------------------------------------------------------
     def merge_enqueue(self, flow, sid: int, nbytes: int, at: float) -> None:
         """A span's payload entered the merge buffer for *flow*."""
+        span = self._open.get(sid)
+        if span is not None and span.flow is None:
+            span.flow = flow
         fifo = self._merge_fifo.get(flow)
         if fifo is None:
             fifo = self._merge_fifo[flow] = deque()
@@ -294,6 +311,9 @@ class SpanTracker:
     # ------------------------------------------------------------------
     def caravan_enqueue(self, flow, sid: int, at: float) -> None:
         """A datagram's span entered the caravan context for *flow*."""
+        span = self._open.get(sid)
+        if span is not None and span.flow is None:
+            span.flow = flow
         fifo = self._caravan_fifo.get(flow)
         if fifo is None:
             fifo = self._caravan_fifo[flow] = deque()

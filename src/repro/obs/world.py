@@ -176,6 +176,10 @@ class ObservedWorld:
     #: The deployed GatewayConfig and the workload script that ran.
     config: object = None
     schedule: object = None
+    #: Always-on black-box ring (repro.obs.flight.FlightRecorder).
+    flight: object = None
+    #: Trace-context propagation (adoption hops from failover takeovers).
+    trace: object = None
 
 
 class _NicFrontend:
@@ -296,6 +300,8 @@ def run_observed_world(
     from ..resilience import FailoverManager
     from ..tcpstack import TCPConnection, TCPListener
     from .alerts import AlertEngine, default_alert_rules
+    from .flight import FlightRecorder
+    from .propagation import TracePropagation
     from .spans import SpanTracker
     from .timeline import TelemetryTimeline
 
@@ -343,6 +349,10 @@ def run_observed_world(
     # the transfers.
     failover = FailoverManager(gateway, interval=0.25).start()
     observe_failover(obs, failover)
+    # Trace-context propagation: takeovers stamp adoption hops on every
+    # checkpointed flow.  Pure bookkeeping — no RNG, no sim events.
+    trace = TracePropagation(seed=seed)
+    failover.propagation = trace
     if schedule.takeover_at is not None:
         topo.sim.schedule_at(schedule.takeover_at, failover.takeover)
 
@@ -416,6 +426,13 @@ def run_observed_world(
                "ext_out": ext_out, "ext_in": ext_in},
         config=config,
         schedule=schedule,
+        # Always-on black box: pure pull-model references, so the ring
+        # is free until someone dumps it.
+        flight=FlightRecorder(name=f"world{seed}").wire(
+            spans=obs.spans, tracer=obs.tracer,
+            timeline=timeline, alerts=alerts,
+        ),
+        trace=trace,
     )
 
     # Mid-run registry snapshots (for staged guardrail evaluation) and

@@ -127,6 +127,8 @@ class CanaryController:
         verdict = ROLLED_BACK if rolled_back_at is not None else PROMOTED
         rollback = (self._zero_loss_rollback()
                     if verdict == ROLLED_BACK else None)
+        bundle = (self._rollback_bundle(rolled_back_at, rollback)
+                  if verdict == ROLLED_BACK else None)
         return {
             "schema": "repro-canary/1",
             "seed": self.seed,
@@ -138,6 +140,7 @@ class CanaryController:
             "verdict": verdict,
             "rolled_back_at": rolled_back_at,
             "rollback": rollback,
+            "incident_bundle": bundle,
             "notes": {
                 "baseline": self.baseline_run.world.notes,
                 "candidate": self.candidate_run.world.notes,
@@ -198,6 +201,42 @@ class CanaryController:
             "takeovers": world.failover.takeovers,
             "zero_loss": not still_pending,
         }
+
+    # ------------------------------------------------------------------
+    def _rollback_bundle(self, stage_name: Optional[str],
+                         rollback: dict) -> dict:
+        """Package the rollback as a deterministic incident bundle.
+
+        Cites the candidate twin's flight-recorder window, both twins'
+        alert engines (the differential evidence), the candidate's
+        registry snapshot, the guardrails, the exact candidate config,
+        and the adoption journeys of the flows the rollback takeover
+        moved to the standby.
+        """
+        from ..obs.incident import build_incident_bundle
+
+        world = self.candidate_run.world
+        at = world.topo.sim.now
+        checkpoint = world.failover.last_checkpoint
+        flows = ([record[0] for record in checkpoint.flows][:8]
+                 if checkpoint else [])
+        return build_incident_bundle(
+            "canary-rollback",
+            at,
+            window=at,
+            detail={"stage": stage_name, "seed": self.seed,
+                    "candidate": self.candidate.to_dict(),
+                    "rollback": rollback},
+            flights=[world.flight] if world.flight is not None else [],
+            alerts={"baseline": self.baseline_run.world.alerts,
+                    "candidate": world.alerts},
+            registry=world.obs.registry,
+            guardrails=self.guardrails,
+            config=world.config,
+            trace=world.trace,
+            trackers={world.gateway.worker.index: world.obs.spans},
+            flows=flows,
+        )
 
 
 def run_canary(

@@ -113,6 +113,10 @@ class FailoverManager:
         self.checkpoints_taken = 0
         self.takeovers = 0
         self._timer = None
+        #: Optional :class:`~repro.obs.propagation.TracePropagation`:
+        #: when attached, every takeover stamps an adoption hop on each
+        #: checkpointed flow (pure bookkeeping, nothing on the datapath).
+        self.propagation = None
 
     # ------------------------------------------------------------------
     def start(self) -> "FailoverManager":
@@ -169,6 +173,11 @@ class FailoverManager:
         for packet in flushed:
             gateway.forward(packet)
         self.takeovers += 1
+        if self.propagation is not None:
+            for record in checkpoint.flows:
+                self.propagation.adopt(
+                    record[0], standby.index, self.sim.now, reason=reason
+                )
         if gateway.obs is not None:
             gateway.obs.trace(
                 self.sim.now, "failover-takeover",

@@ -88,3 +88,42 @@ class TestSteering:
             steering.shard_for(flow)
             steering.shard_for(flow)  # cache hit still counts
         assert sum(steering.steered) == 200
+
+    def test_cache_hit_miss_counters(self):
+        steering = FleetSteering(2)
+        population = flows(50)
+        for flow in population:
+            steering.shard_for(flow)
+        assert steering.cache_misses == 50
+        assert steering.cache_hits == 0
+        for flow in population:
+            steering.shard_for(flow)
+        assert steering.cache_hits == 50
+        assert steering.cache_misses == 50
+
+    def test_on_decision_fires_only_on_misses(self):
+        steering = FleetSteering(2)
+        seen = []
+        steering.on_decision = lambda flow, shard: seen.append((flow, shard))
+        population = flows(10)
+        for flow in population:
+            steering.shard_for(flow)
+            steering.shard_for(flow)  # hit: no callback
+        assert len(seen) == 10
+        assert all(steering.shard_for(flow) == shard
+                   for flow, shard in seen)
+
+    def test_owner_of_is_a_pure_peek(self):
+        steering = FleetSteering(3)
+        fired = []
+        steering.on_decision = lambda flow, shard: fired.append(flow)
+        population = flows(20)
+        owners = [steering.owner_of(flow) for flow in population]
+        # No mutation: no cache entries, no counters, no callbacks.
+        assert not fired
+        assert steering.cache_hits == 0 and steering.cache_misses == 0
+        assert sum(steering.steered) == 0
+        # And it agrees with the real steering decision.
+        assert owners == [steering.shard_for(flow) for flow in population]
+        # After caching, the peek returns the cached assignment.
+        assert owners == [steering.owner_of(flow) for flow in population]

@@ -1,0 +1,52 @@
+"""FleetSupervisor drain/removal events become incident bundles when a
+flight recorder is attached (PR 10)."""
+
+from repro.core.config import GatewayConfig
+from repro.fleet.chaos import _city_profile
+from repro.fleet.fleet import GatewayFleet
+from repro.fleet.supervisor import FleetSupervisor
+from repro.obs import FlightRecorder, TracePropagation
+from repro.workload import CityScaleWorkload
+
+
+def _loaded_fleet(seed=7, shards=4):
+    fleet = GatewayFleet(GatewayConfig(flow_table_capacity=256),
+                         shards=shards, steering_seed=seed)
+    fleet.attach_trace(TracePropagation(seed=seed))
+    stream = list(CityScaleWorkload(_city_profile("mixed", seed)).packets(400))
+    fleet.process_stream(stream)
+    return fleet
+
+
+def test_maintenance_removal_builds_a_bundle():
+    fleet = _loaded_fleet()
+    sup = FleetSupervisor(fleet, flight=FlightRecorder(name="fleet")).start()
+    sup.run(0.3)
+    sup.maintain_shard(2)
+    assert len(sup.incidents) == 1
+    bundle = sup.incidents[0]
+    assert bundle["trigger"]["kind"] == "shard-loss"
+    assert bundle["trigger"]["detail"]["mode"] == "maintenance"
+    assert bundle["trigger"]["detail"]["shard"] == 2
+    assert bundle["trace"]["flows"] and bundle["trace"]["consistent"]
+    marks = [e for e in bundle["flight"]["fleet"]["entries"]
+             if e["kind"] == "mark"]
+    assert any(e["mark"] == "shard-loss" and e["shard"] == 2 for e in marks)
+
+
+def test_crash_bundle_reports_checkpoint_age():
+    fleet = _loaded_fleet()
+    sup = FleetSupervisor(fleet, flight=FlightRecorder(name="fleet")).start()
+    sup.run(0.3)
+    sup.crash_shard(1)
+    bundle = sup.incidents[0]
+    assert bundle["trigger"]["detail"]["mode"] == "crash"
+    assert bundle["trigger"]["detail"]["checkpoint_age"] >= 0.0
+
+
+def test_supervisor_without_flight_records_nothing():
+    fleet = _loaded_fleet()
+    sup = FleetSupervisor(fleet).start()
+    sup.run(0.3)
+    sup.maintain_shard(0)
+    assert sup.incidents == []

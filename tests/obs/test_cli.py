@@ -121,3 +121,54 @@ def test_bench_metrics_out(tmp_path):
     text = prom_out.read_text()
     assert 'px_bench_pkts_per_sec{bench="checksum"}' in text
     assert 'px_bench_reps{bench="checksum"} 1' in text
+
+
+def test_flight_summary(capsys):
+    assert main(["flight", "--summary"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["name"] == "world0"
+    assert summary["sources"] == {"spans": True, "tracer": True,
+                                  "timeline": True, "alerts": True}
+    assert summary["counts"]["span"] > 0
+
+
+def test_flight_dump_windowed_and_compact(tmp_path, capsys):
+    out_path = tmp_path / "flight.json"
+    assert main(["flight", "--since", "0.9", "--until", "0.9",
+                 "--kind", "trace", "--out", str(out_path)]) == 0
+    assert "written to" in capsys.readouterr().out
+    dump = json.loads(out_path.read_text())
+    assert dump["schema"] == "repro-flight/1"
+    assert dump["window"] == {"since": 0.9, "until": 0.9}
+    assert dump["entries"]
+    assert all(e["kind"] == "trace" and e["time"] == 0.9
+               for e in dump["entries"])
+
+
+def test_flight_dump_is_byte_identical(tmp_path):
+    paths = [tmp_path / "a.json", tmp_path / "b.json"]
+    for path in paths:
+        assert main(["flight", "--seed", "3", "--out", str(path)]) == 0
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_trace_since_filters_by_sim_time(capsys):
+    assert main(["trace", "--since", "0.9", "--jsonl"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines
+    assert all(json.loads(line)["time"] >= 0.9 for line in lines)
+    capsys.readouterr()
+    assert main(["trace", "--jsonl"]) == 0
+    all_lines = capsys.readouterr().out.strip().splitlines()
+    assert len(all_lines) > len(lines)
+
+
+def test_incident_shard_loss_verb(tmp_path, capsys):
+    out_path = tmp_path / "incident.json"
+    assert main(["incident", "--trigger", "shard-loss",
+                 "--out", str(out_path)]) == 0
+    assert "written to" in capsys.readouterr().out
+    bundle = json.loads(out_path.read_text())
+    assert bundle["schema"] == "repro-incident/1"
+    assert bundle["trigger"]["kind"] == "shard-loss"
+    assert bundle["trace"]["flows"] and bundle["trace"]["consistent"]
